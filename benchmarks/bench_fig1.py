@@ -1,0 +1,25 @@
+"""Benchmark: regenerate Fig. 1 (GTX Titan vs Arndale GPU)."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import fig1
+
+
+def test_fig1_reproduction(benchmark):
+    result = run_once(benchmark, fig1.run)
+    print()
+    print(result.to_text())
+    assert result.pass_fraction == 1.0
+    assert result.comparison.count == 47
+    benchmark.extra_info["ensemble"] = result.comparison.count
+    benchmark.extra_info["bandwidth_ratio"] = round(
+        result.comparison.bandwidth_ratio, 3
+    )
+
+
+def test_fig1_model_only(benchmark):
+    """Model curves without the measured dots: the analytical core."""
+    result = run_once(benchmark, fig1.run, include_measurements=False)
+    assert result.comparison.peak_ratio < 0.5

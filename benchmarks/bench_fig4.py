@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Fig. 4 (capped vs uncapped error distributions)."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import fig4
+from repro.experiments.paper_reference import FIG4_FLAGGED
+
+
+def test_fig4_reproduction(benchmark, fits):
+    result = run_once(benchmark, fig4.run, fits=fits)
+    print()
+    print(result.to_text())
+    assert result.pass_fraction == 1.0
+    overlap = len(result.flagged & FIG4_FLAGGED)
+    assert overlap >= 5
+    benchmark.extra_info["flag_overlap"] = f"{overlap}/7"
+    benchmark.extra_info["flagged"] = len(result.flagged)

@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Fig. 5 (normalised power, 12 panels)."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import fig5
+
+
+def test_fig5_reproduction(benchmark):
+    result = run_once(benchmark, fig5.run)
+    print()
+    print(result.to_text())
+    assert result.pass_fraction == 1.0
+    benchmark.extra_info["panels"] = len(result.panels)
+
+
+def test_fig5_model_only(benchmark):
+    result = run_once(benchmark, fig5.run, include_measurements=False)
+    # Ordering claims must hold from the model alone.
+    ordering_claim = next(
+        c for c in result.claims if "ordering" in c.name
+    )
+    assert ordering_claim.ok

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Fig. 6 (power under reduced caps)."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import fig6
+
+
+def test_fig6_reproduction(benchmark):
+    result = run_once(benchmark, fig6.run)
+    print()
+    print(result.to_text())
+    assert result.pass_fraction == 1.0
+    # Headline: the Arndale GPU sheds the most power under dpi/8.
+    arndale = result.scenarios["arndale-gpu"].power_reduction(0.125)
+    benchmark.extra_info["arndale_power_fraction"] = round(arndale, 3)

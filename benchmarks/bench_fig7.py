@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Fig. 7a/7b (performance and efficiency under
+reduced caps)."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import fig7
+
+
+def test_fig7_reproduction(benchmark):
+    result = run_once(benchmark, fig7.run)
+    print()
+    print(result.to_text())
+    assert result.pass_fraction == 1.0
+    titan = result.perf_retention_low["gtx-titan"]
+    assert abs(titan - 0.31) < 0.01
+    benchmark.extra_info["titan_retention_I=0.25"] = round(titan, 3)

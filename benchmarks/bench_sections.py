@@ -1,0 +1,32 @@
+"""Benchmarks: regenerate the Section V-B/V-C/V-D analyses."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import section_vb, section_vc, section_vd
+
+
+def test_section_vb_reproduction(benchmark, fits):
+    result = run_once(benchmark, section_vb.run, fits=fits)
+    print()
+    print(result.to_text())
+    assert result.pass_fraction == 1.0
+
+
+def test_section_vc_reproduction(benchmark):
+    result = run_once(benchmark, section_vc.run)
+    print()
+    print(result.to_text())
+    assert result.pass_fraction == 1.0
+    corr = section_vc.efficiency_correlation()
+    benchmark.extra_info["correlation"] = round(corr, 3)
+
+
+def test_section_vd_reproduction(benchmark):
+    result = run_once(benchmark, section_vd.run)
+    print()
+    print(result.to_text())
+    assert result.pass_fraction == 1.0
+    values = section_vd.bounded_comparison()
+    benchmark.extra_info["speedup_at_140w"] = round(values["speedup"], 2)

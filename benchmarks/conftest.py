@@ -1,0 +1,28 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one of the paper's tables/figures, asserts
+its reproduction claims, and reports timing via pytest-benchmark.  The
+full campaign pass is shared session-wide so the harness stays fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import CampaignSettings, run_all_fits
+
+
+@pytest.fixture(scope="session")
+def settings():
+    return CampaignSettings()
+
+
+@pytest.fixture(scope="session")
+def fits(settings):
+    """Full 12-platform campaign fits, computed once per session."""
+    return run_all_fits(settings)
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run a (possibly expensive) experiment exactly once under timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

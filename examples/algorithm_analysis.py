@@ -1,0 +1,117 @@
+#!/usr/bin/env python
+"""From algorithm analysis to machine choice: W(n) and Q(n; Z) applied.
+
+The paper's model starts from an abstract algorithm performing W(n)
+flops and moving Q(n; Z) bytes (Fig. 2) before collapsing both into
+the intensity I.  This example keeps the functions and shows what that
+buys:
+
+1. intensities of classic kernels *derived* from I/O complexity, per
+   platform (they differ, because Z differs);
+2. the problem size at which a blocked matrix multiply turns
+   compute-bound on each machine;
+3. the best building block per algorithm, by work-per-Joule;
+4. an ASCII roofline with the kernels placed on it.
+
+Run:  python examples/algorithm_analysis.py
+"""
+
+import numpy as np
+
+from repro.apps import (
+    best_platform,
+    evaluate,
+    fast_memory_capacity,
+    fft,
+    matrix_multiply,
+    regime_transition_size,
+    sort_mergesort,
+    spmv_csr,
+    stencil,
+)
+from repro.core import model, rooflines
+from repro.machine import platforms
+from repro.report import Table, fmt_num
+from repro.report.ascii_plot import AsciiPlot
+
+ALGORITHMS = {
+    "matmul (n=8192)": (matrix_multiply(), 8192),
+    "fft (n=2^24)": (fft(), 2 ** 24),
+    "stencil (n=10^8)": (stencil(), 1e8),
+    "spmv (n=10^7)": (spmv_csr(), 1e7),
+    "mergesort (n=10^8)": (sort_mergesort(), 1e8),
+}
+
+
+def derived_intensities() -> None:
+    print("== derived intensities (flop per slow-memory byte) ==")
+    table = Table(
+        columns=["algorithm", "titan (Z=1.5MiB)", "desktop (Z=256KiB)",
+                 "pandaboard (Z=1MiB)"],
+    )
+    cfgs = [platforms.platform(p) for p in ("gtx-titan", "desktop-cpu",
+                                            "pandaboard-es")]
+    for label, (alg, n) in ALGORITHMS.items():
+        table.add_row(
+            label,
+            *(fmt_num(alg.intensity(n, fast_memory_capacity(c))) for c in cfgs),
+        )
+    print(table.render())
+    print(
+        "  (matmul's intensity tracks sqrt(Z); the FFT's tracks log Z; "
+        "streaming kernels don't move)\n"
+    )
+
+
+def transition_sizes() -> None:
+    print("== matmul size at which compute-bound-ness begins ==")
+    mm = matrix_multiply()
+    for pid in ("gtx-titan", "xeon-phi", "arndale-cpu", "pandaboard-es"):
+        cfg = platforms.platform(pid)
+        n_star = regime_transition_size(mm, cfg)
+        balance = cfg.truth.time_balance
+        where = (
+            f"n* = {n_star:7.0f}"
+            if n_star is not None
+            else "compute-bound at every scanned size (low balance)"
+        )
+        print(f"  {pid:14s} B_tau = {balance:5.1f} flop/B -> {where}")
+    print()
+
+
+def best_blocks() -> None:
+    print("== best building block per algorithm (work per Joule) ==")
+    for label, (alg, n) in ALGORITHMS.items():
+        pid, result = best_platform(alg, n, platforms.all_platforms())
+        print(
+            f"  {label:20s} -> {pid:14s} "
+            f"{result.work_per_joule / 1e9:7.2f} G{alg.work_unit}/J "
+            f"({result.regime.name.lower()}-bound)"
+        )
+    print()
+
+
+def roofline_with_kernels() -> None:
+    print("== the Titan's roofline with the kernels placed on it ==")
+    titan_cfg = platforms.platform("gtx-titan")
+    titan = titan_cfg.truth
+    grid = rooflines.intensity_grid(1 / 16, 512, 3)
+    plot = AsciiPlot(
+        title="GTX Titan attainable performance", y_label="flop/s",
+        width=66, height=18,
+    )
+    plot.add_series("roofline", grid, model.performance(titan, grid))
+    marks_x, marks_y = [], []
+    for label, (alg, n) in ALGORITHMS.items():
+        result = evaluate(alg, n, titan_cfg)
+        marks_x.append(result.instance.intensity)
+        marks_y.append(result.throughput)
+    plot.add_series("kernels", marks_x, marks_y, scatter=True)
+    print(plot.render())
+
+
+if __name__ == "__main__":
+    derived_intensities()
+    transition_sizes()
+    best_blocks()
+    roofline_with_kernels()

@@ -1,0 +1,109 @@
+#!/usr/bin/env python
+"""Compare two HPC building blocks the way Fig. 1 compares the
+GTX Titan against the Arndale GPU -- for any pair of platforms.
+
+For the chosen pair this prints:
+
+* the three per-intensity panels (performance, energy-efficiency,
+  power) for both platforms and for the power-matched ensemble of the
+  smaller one;
+* the crossover/parity analysis behind "matches in flop/J up to
+  I = 4";
+* which block wins for the workloads the paper's introduction
+  motivates (sparse matrix-vector multiply, FFT, dense kernels).
+
+Run:  python examples/compare_building_blocks.py [reference] [block]
+e.g.  python examples/compare_building_blocks.py gtx-titan arndale-gpu
+"""
+
+import sys
+
+import numpy as np
+
+from repro import compare_power_matched, crossover_intensities, intensity_grid
+from repro.core import model
+from repro.core.rooflines import dominance_intervals, parity_upper_bound
+from repro.machine import platforms
+from repro.report import log2_label, series_table
+
+#: Representative workloads and their single-precision intensities
+#: (Section I: SpMV ~ 0.25-0.5 flop:B, large FFT ~ 2-4 flop:B).
+WORKLOADS = {
+    "sparse matrix-vector (SpMV)": 0.375,
+    "stencil sweep": 1.0,
+    "large FFT": 3.0,
+    "dense matrix multiply": 32.0,
+}
+
+
+def main() -> None:
+    ref_id = sys.argv[1] if len(sys.argv) > 1 else "gtx-titan"
+    block_id = sys.argv[2] if len(sys.argv) > 2 else "arndale-gpu"
+    reference = platforms.params(ref_id)
+    block = platforms.params(block_id)
+
+    comparison = compare_power_matched(block, reference)
+    aggregate = comparison.aggregate
+    print(
+        f"{comparison.count:g} x {block.name} match one {reference.name} "
+        f"on max power ({aggregate.pi1 + aggregate.delta_pi:.0f} W)"
+    )
+    print(
+        f"  aggregate peak:      {comparison.peak_ratio:5.2f}x the reference"
+    )
+    print(
+        f"  aggregate bandwidth: {comparison.bandwidth_ratio:5.2f}x the reference"
+    )
+    print()
+
+    grid = intensity_grid(1 / 8, 256.0, 1)
+    print(
+        series_table(
+            grid,
+            {
+                f"{reference.name} flop/J": model.flops_per_joule(reference, grid),
+                f"{block.name} flop/J": model.flops_per_joule(block, grid),
+                f"ensemble Gflop/s": model.performance(aggregate, grid),
+                f"{reference.name} Gflop/s": model.performance(reference, grid),
+            },
+            title="Energy-efficiency and performance vs intensity",
+        )
+    )
+    print()
+
+    crossings = crossover_intensities(block, reference, "flops_per_joule")
+    if crossings:
+        print(
+            f"{block.name} stops beating {reference.name} in flop/J at "
+            f"I = {crossings[0]:.2f} flop:B"
+        )
+    parity = parity_upper_bound(block, reference, tolerance=0.8)
+    print(
+        f"...and stays within 20% of it up to I = {parity:.1f} flop:B"
+    )
+    print()
+
+    print("power-matched ensemble vs reference, by workload:")
+    for name, intensity in WORKLOADS.items():
+        ratio = comparison.performance_ratio(intensity)
+        verdict = "ensemble wins" if ratio > 1 else "reference wins"
+        print(
+            f"  {name:30s} I={log2_label(intensity):>5}: "
+            f"{ratio:5.2f}x  ({verdict})"
+        )
+    print()
+
+    intervals = dominance_intervals(
+        aggregate.renamed(f"{comparison.count:g}x {block.name}"),
+        reference,
+        "performance",
+        i_min=1 / 8,
+        i_max=256.0,
+    )
+    print("performance dominance over intensity:")
+    for lo, hi, winner in intervals:
+        print(f"  [{log2_label(lo):>5}, {log2_label(hi):>5}] flop:B -> {winner}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,116 @@
+#!/usr/bin/env python
+"""Tour of the library's extensions beyond the paper's figures.
+
+Four analyses the fitted Table I constants make possible:
+
+1. **cache-aware energy rooflines** -- per-level performance and
+   efficiency ceilings, and what a blocking transformation is worth;
+2. **irregular workloads** -- SpMV and BFS across the platform zoo,
+   and the pi1 twist on the paper's "Phi for irregular work" remark;
+3. **energy-optimal DVFS** -- which platforms should race to idle and
+   which should crawl (the paper's future-work question about
+   non-constant per-op costs);
+4. **heterogeneous mixes** -- a Titan + Arndale blend on the
+   (performance, efficiency) plane.
+
+Run:  python examples/irregular_and_extensions.py
+"""
+
+import numpy as np
+
+from repro.core import bounding, composite, dvfs, hierarchy, irregular, model
+from repro.machine import platforms
+from repro.report import Table, fmt_num
+
+
+def cache_aware_rooflines() -> None:
+    print("== 1. cache-aware energy rooflines (GTX Titan) ==")
+    titan = platforms.params("gtx-titan")
+    table = Table(
+        columns=["level", "balance flop/B", "Gflop/s @I=2", "Gflop/J @I=2"],
+    )
+    c = hierarchy.ceilings(titan, [2.0])
+    for level, ceiling in c.items():
+        table.add_row(
+            level,
+            fmt_num(ceiling.balance),
+            fmt_num(ceiling.performance[0] / 1e9),
+            fmt_num(ceiling.flops_per_joule[0] / 1e9),
+        )
+    print(table.render())
+    s = hierarchy.locality_speedup(titan, "L1", 2.0)
+    g = hierarchy.locality_energy_gain(titan, "L1", 2.0)
+    print(
+        f"a tiling transformation that moves an I=2 kernel's working set "
+        f"into shared memory buys {s:.1f}x speed and {g:.1f}x flop/J\n"
+    )
+
+
+def irregular_workloads() -> None:
+    print("== 2. irregular workloads ==")
+    spmv = irregular.spmv_workload(nnz=5e7, n_rows=2e6, name="spmv-50M")
+    bfs = irregular.bfs_workload(edges=1e8, vertices=5e6, name="bfs-100M")
+    for workload in (spmv, bfs):
+        ranking = irregular.rank_by_irregular_efficiency(
+            platforms.all_params(), workload
+        )
+        top = ", ".join(
+            f"{pid} ({value / 1e6:.1f} Mop/J)" for pid, value in ranking[:3]
+        )
+        print(f"  {workload.name:10s} best work-per-Joule: {top}")
+    phi = platforms.params("xeon-phi")
+    print(
+        f"  (Xeon Phi's marginal eps_rand is the zoo's best at "
+        f"{phi.random.eps_access * 1e9:.2f} nJ, but charging its 180 W "
+        f"pi1 over each access costs "
+        f"{irregular.effective_random_energy(phi) * 1e9:.0f} nJ -- "
+        "the pi1 inversion, again)\n"
+    )
+
+
+def optimal_dvfs() -> None:
+    print("== 3. energy-optimal frequency at I = 1 flop:B (alpha = 0.2) ==")
+    table = Table(columns=["platform", "pi1 fraction", "f*", "energy saved"])
+    rows = []
+    for pid, p in platforms.all_params().items():
+        f_star = dvfs.optimal_frequency(p, 1.0, alpha=0.2)
+        saved = dvfs.energy_savings(p, 1.0, alpha=0.2)
+        rows.append((saved, pid, p.constant_power_fraction, f_star))
+    for saved, pid, fraction, f_star in sorted(rows, reverse=True):
+        table.add_row(pid, f"{fraction:.0%}", f"{f_star:.2f}", f"{saved:.1%}")
+    print(table.render())
+    print(
+        "  (low-pi1 platforms crawl; high-pi1 platforms race to idle -- "
+        "'driving down pi1' is also what makes DVFS worthwhile)\n"
+    )
+
+
+def heterogeneous_mix() -> None:
+    print("== 4. a heterogeneous 350 W blend ==")
+    titan = platforms.params("gtx-titan")
+    arndale = platforms.params("arndale-gpu")
+    mix = composite.CompositeMachine.of("blend", (titan, 1.0), (arndale, 10.0))
+    print(f"  {mix.describe()}")
+    table = Table(
+        columns=["I", "blend Gflop/s", "blend Gflop/J", "titan-only Gflop/J"],
+    )
+    for I in (0.25, 1.0, 4.0, 32.0):
+        table.add_row(
+            fmt_num(I),
+            fmt_num(mix.performance(I) / 1e9),
+            fmt_num(mix.flops_per_joule(I) / 1e9),
+            fmt_num(float(model.flops_per_joule(titan, I)) / 1e9),
+        )
+    print(table.render())
+    frontier = bounding.pareto_frontier(platforms.all_params(), 350.0, 1.0)
+    print(
+        "  homogeneous Pareto frontier at 350 W, I=1: "
+        + ", ".join(c.block_id for c in frontier)
+    )
+
+
+if __name__ == "__main__":
+    cache_aware_rooflines()
+    irregular_workloads()
+    optimal_dvfs()
+    heterogeneous_mix()

@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Quickstart: evaluate the capped energy-roofline model.
+
+Builds a machine from first-principles constants, asks the three
+questions the model answers -- how fast, how efficient, how much power
+-- and shows what a power cap does to each.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    MachineParams,
+    Regime,
+    energy,
+    flops_per_joule,
+    performance,
+    power_curve,
+    regime,
+    time,
+)
+
+# ---------------------------------------------------------------------------
+# 1. Describe a machine.
+#
+# Six constants fully describe a platform: time per flop and per byte
+# (from sustained peaks), energy per flop and per byte, constant power,
+# and the usable-power cap.  These numbers are a fictional mid-range
+# accelerator: 1 Tflop/s, 100 GB/s, 50 W constant, 60 W usable.
+# ---------------------------------------------------------------------------
+machine = MachineParams.from_throughputs(
+    "demo-accelerator",
+    flops=1e12,          # sustained single-precision flop/s
+    bandwidth=100e9,     # sustained stream bandwidth, B/s
+    eps_flop=40e-12,     # J per flop            -> pi_flop = 40 W
+    eps_mem=400e-12,     # J per DRAM byte       -> pi_mem  = 40 W
+    pi1=50.0,            # constant power, W
+    delta_pi=60.0,       # usable dynamic power, W (< 80 W: the cap binds!)
+)
+
+print(f"machine: {machine.name}")
+print(f"  time balance  B_tau = {machine.time_balance:.1f} flop/B")
+print(f"  energy balance B_eps = {machine.energy_balance:.1f} flop/B")
+print(
+    f"  cap binds between I = {machine.time_balance_lower:.2f} "
+    f"and {machine.time_balance_upper:.2f} flop/B"
+)
+print(f"  peak efficiency: {machine.peak_flops_per_joule / 1e9:.2f} Gflop/J")
+print()
+
+# ---------------------------------------------------------------------------
+# 2. Ask about a specific computation.
+#
+# A large single-precision FFT runs at roughly 2 flop per byte.
+# W and Q here describe one whole execution.
+# ---------------------------------------------------------------------------
+W = 4e12   # flops
+I = 2.0    # flop:Byte
+Q = W / I  # bytes
+
+t = time(machine, W, Q)
+e = energy(machine, W, Q)
+print(f"an FFT-like run (I = {I:g} flop:B, {W:.0e} flops):")
+print(f"  time   {t:8.2f} s   ({W / t / 1e9:7.1f} Gflop/s attained)")
+print(f"  energy {e:8.1f} J   ({W / e / 1e9:7.2f} Gflop/J)")
+print(f"  power  {e / t:8.1f} W   (regime: {regime(machine, I).name})")
+print()
+
+# ---------------------------------------------------------------------------
+# 3. Sweep intensity: the three curves of the paper's figures.
+# ---------------------------------------------------------------------------
+print(f"{'I (flop:B)':>12} {'Gflop/s':>9} {'Gflop/J':>9} {'Watts':>7}  regime")
+for exponent in range(-3, 8):
+    i_val = 2.0 ** exponent
+    label = f"1/{2 ** -exponent}" if exponent < 0 else f"{2 ** exponent}"
+    print(
+        f"{label:>12} "
+        f"{performance(machine, i_val) / 1e9:9.1f} "
+        f"{flops_per_joule(machine, i_val) / 1e9:9.2f} "
+        f"{power_curve(machine, i_val):7.1f}  "
+        f"{Regime(regime(machine, i_val)).name}"
+    )
+print()
+
+# ---------------------------------------------------------------------------
+# 4. What if the cap were lifted?
+# ---------------------------------------------------------------------------
+free = machine.uncapped()
+ridge = machine.time_balance
+speedup = performance(free, ridge) / performance(machine, ridge)
+print(
+    f"lifting the cap would speed up balanced code (I = {ridge:.0f}) "
+    f"by {speedup:.2f}x"
+)

@@ -1,0 +1,10 @@
+"""Legacy build shim.
+
+The offline environment lacks the `wheel` package, which setuptools'
+PEP 660 editable-install path requires; without a [build-system] table
+pip falls back to `setup.py develop`, which works with setuptools alone.
+All project metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,35 @@
+"""Abstract algorithm models (W(n), Q(n; Z)) and machine analysis."""
+
+from .algorithms import (
+    Algorithm,
+    AlgorithmInstance,
+    fft,
+    matrix_multiply,
+    sort_mergesort,
+    spmv_csr,
+    stencil,
+    stream_triad,
+)
+from .analysis import (
+    AlgorithmOnMachine,
+    best_platform,
+    evaluate,
+    fast_memory_capacity,
+    regime_transition_size,
+)
+
+__all__ = [
+    "Algorithm",
+    "AlgorithmInstance",
+    "fft",
+    "matrix_multiply",
+    "sort_mergesort",
+    "spmv_csr",
+    "stencil",
+    "stream_triad",
+    "AlgorithmOnMachine",
+    "best_platform",
+    "evaluate",
+    "fast_memory_capacity",
+    "regime_transition_size",
+]

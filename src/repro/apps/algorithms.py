@@ -1,0 +1,226 @@
+"""Abstract algorithm models: W(n) and Q(n; Z) from algorithm analysis.
+
+Section III frames an algorithm as ``W = W(n)`` flops and
+``Q = Q(n; Z)`` bytes moved against a fast memory of capacity ``Z`` --
+then immediately abstracts both into the intensity ``I = W/Q``.  This
+package keeps the functions: classic I/O-complexity results give
+``Q(n; Z)`` for the kernels the paper's introduction motivates, so
+intensity becomes a *derived* quantity that responds to problem size
+and cache capacity exactly as the theory says (matrix multiply's
+intensity grows with sqrt(Z); the FFT's with log Z; streaming kernels'
+never grows).
+
+Every model here is a best-case (cache-optimal blocking) count in the
+same optimistic spirit as the paper's throughput-based ``tau`` costs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+__all__ = [
+    "AlgorithmInstance",
+    "Algorithm",
+    "matrix_multiply",
+    "fft",
+    "stencil",
+    "stream_triad",
+    "spmv_csr",
+    "sort_mergesort",
+]
+
+
+@dataclass(frozen=True)
+class AlgorithmInstance:
+    """One (algorithm, problem size, cache size) evaluation."""
+
+    name: str
+    n: float
+    Z: float  #: fast-memory capacity used by the blocking analysis, bytes.
+    flops: float  #: W(n)
+    bytes_moved: float  #: Q(n; Z)
+
+    @property
+    def intensity(self) -> float:
+        """``I = W / Q`` (flop per byte of slow-memory traffic)."""
+        if self.bytes_moved == 0:
+            return math.inf
+        return self.flops / self.bytes_moved
+
+
+@dataclass(frozen=True)
+class Algorithm:
+    """An abstract algorithm: work and traffic as functions of (n, Z).
+
+    ``work_unit`` documents what "flops" counts (the paper's footnote 3
+    allows comparisons, edge traversals, etc.).
+    """
+
+    name: str
+    work: Callable[[float], float]  #: W(n)
+    traffic: Callable[[float, float], float]  #: Q(n, Z)
+    work_unit: str = "flop"
+    element_bytes: int = 4  #: operand size the traffic model assumes.
+
+    def instance(self, n: float, Z: float) -> AlgorithmInstance:
+        """Evaluate at problem size ``n`` and fast-memory capacity ``Z``."""
+        if n <= 0:
+            raise ValueError("problem size must be positive")
+        if Z <= 0:
+            raise ValueError("fast-memory capacity must be positive")
+        w = float(self.work(n))
+        q = float(self.traffic(n, Z))
+        if w < 0 or q < 0:
+            raise ValueError(f"{self.name}: negative work/traffic at n={n}")
+        return AlgorithmInstance(
+            name=self.name, n=n, Z=Z, flops=w, bytes_moved=q
+        )
+
+    def intensity(self, n: float, Z: float) -> float:
+        """Shorthand for ``instance(n, Z).intensity``."""
+        return self.instance(n, Z).intensity
+
+
+def matrix_multiply(element_bytes: int = 4) -> Algorithm:
+    """Dense ``n x n`` matrix multiply with cache-optimal blocking.
+
+    ``W = 2 n^3``; the Hong-Kung bound gives
+    ``Q = Theta(n^3 / sqrt(Z_words)) + 3 n^2`` words -- intensity grows
+    like ``sqrt(Z)``, so large caches make it compute-bound on every
+    platform.
+    """
+
+    def work(n: float) -> float:
+        return 2.0 * n ** 3
+
+    def traffic(n: float, Z: float) -> float:
+        z_words = max(Z / element_bytes, 3.0)
+        block = math.sqrt(z_words / 3.0)  # three b x b blocks resident
+        spill = n ** 3 / block if n > block else 0.0
+        compulsory = 3.0 * n ** 2
+        return (spill + compulsory) * element_bytes
+
+    return Algorithm(
+        name="matmul", work=work, traffic=traffic, element_bytes=element_bytes
+    )
+
+
+def fft(element_bytes: int = 8) -> Algorithm:
+    """A large 1-D complex FFT (single precision: 8 B per element).
+
+    ``W = 5 n log2 n``; the Hong-Kung/aggarwal-vitter transfer bound
+    gives ``Q = Theta(n log n / log Z_elems)`` elements -- intensity
+    ~``2.5 log2(Z)`` flop per element, i.e. a few flop per byte almost
+    independent of n, exactly the 2-4 flop:Byte range the paper quotes
+    for large FFTs.
+    """
+
+    def work(n: float) -> float:
+        return 5.0 * n * math.log2(max(n, 2.0))
+
+    def traffic(n: float, Z: float) -> float:
+        z_elems = max(Z / element_bytes, 4.0)
+        passes = max(1.0, math.log2(max(n, 2.0)) / math.log2(z_elems))
+        return 2.0 * n * passes * element_bytes  # read + write per pass
+
+    return Algorithm(
+        name="fft", work=work, traffic=traffic, element_bytes=element_bytes
+    )
+
+
+def stencil(points: int = 7, element_bytes: int = 4) -> Algorithm:
+    """One sweep of a ``points``-point stencil over an n-cell 3-D grid.
+
+    Without temporal blocking each sweep streams the grid once in and
+    once out: ``Q = 2 n`` elements, ``W = 2 * points * n`` (one
+    multiply-add per neighbour) -- intensity is a small constant,
+    independent of Z.
+    """
+
+    def work(n: float) -> float:
+        return 2.0 * points * n
+
+    def traffic(n: float, Z: float) -> float:
+        del Z  # no reuse beyond the streaming window
+        return 2.0 * n * element_bytes
+
+    return Algorithm(
+        name=f"stencil{points}",
+        work=work,
+        traffic=traffic,
+        element_bytes=element_bytes,
+    )
+
+
+def stream_triad(element_bytes: int = 4) -> Algorithm:
+    """STREAM triad ``a = b + s*c``: 2 flops per 3 elements moved."""
+
+    def work(n: float) -> float:
+        return 2.0 * n
+
+    def traffic(n: float, Z: float) -> float:
+        del Z
+        return 3.0 * n * element_bytes
+
+    return Algorithm(
+        name="triad", work=work, traffic=traffic, element_bytes=element_bytes
+    )
+
+
+def spmv_csr(
+    nnz_per_row: float = 10.0, value_bytes: int = 4, index_bytes: int = 4
+) -> Algorithm:
+    """CSR sparse matrix-vector multiply, n rows, fixed row density.
+
+    ``W = 2 nnz``.  Traffic streams values+indices once; the source
+    vector's reuse depends on Z: when x fits (n * value_bytes <= Z) it
+    is read once, otherwise every gather may miss.  This is the simple
+    two-regime model; see :mod:`repro.core.irregular` for the random-
+    access energy treatment.
+    """
+
+    def work(n: float) -> float:
+        return 2.0 * nnz_per_row * n
+
+    def traffic(n: float, Z: float) -> float:
+        nnz = nnz_per_row * n
+        matrix = nnz * (value_bytes + index_bytes) + n * index_bytes
+        x_bytes = n * value_bytes
+        vector = x_bytes if x_bytes <= Z else nnz * value_bytes
+        result = n * value_bytes
+        return matrix + vector + result
+
+    return Algorithm(
+        name="spmv", work=work, traffic=traffic, element_bytes=value_bytes
+    )
+
+
+def sort_mergesort(element_bytes: int = 4) -> Algorithm:
+    """External merge sort: work counted in comparisons (footnote 3).
+
+    ``W = n log2 n`` comparisons; ``Q = 2 n * ceil(log(n/Z) / log(Z))``
+    elements in the external-memory model (a constant few passes for
+    realistic n/Z).
+    """
+
+    def work(n: float) -> float:
+        return n * math.log2(max(n, 2.0))
+
+    def traffic(n: float, Z: float) -> float:
+        z_elems = max(Z / element_bytes, 4.0)
+        if n <= z_elems:
+            return 2.0 * n * element_bytes
+        merge_passes = math.ceil(
+            math.log(n / z_elems) / math.log(max(z_elems, 2.0))
+        )
+        return 2.0 * n * (1.0 + merge_passes) * element_bytes
+
+    return Algorithm(
+        name="mergesort",
+        work=work,
+        traffic=traffic,
+        work_unit="comparison",
+        element_bytes=element_bytes,
+    )

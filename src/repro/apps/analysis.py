@@ -1,0 +1,148 @@
+"""Algorithm-on-machine analysis: the model applied to W(n), Q(n; Z).
+
+Bridges :mod:`repro.apps.algorithms` (abstract algorithms) and
+:mod:`repro.core.model` (abstract machines): evaluate predicted time,
+energy and power for an algorithm instance on a platform, find the
+problem size where an algorithm's regime changes, and pick the best
+platform for an algorithm at a given size.
+
+The fast-memory capacity ``Z`` used by the traffic models defaults to
+the platform's largest modelled cache -- the paper's Fig. 2 "fast
+memory" -- so the same algorithm genuinely has different intensities
+on different machines, which is the whole point of carrying Q(n; Z)
+instead of a fixed I.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..core import model
+from ..core.params import MachineParams
+from ..machine.config import PlatformConfig
+from .algorithms import Algorithm, AlgorithmInstance
+
+__all__ = [
+    "fast_memory_capacity",
+    "AlgorithmOnMachine",
+    "evaluate",
+    "regime_transition_size",
+    "best_platform",
+]
+
+#: Fallback fast-memory size for platforms without modelled caches.
+_DEFAULT_Z = 256 * 1024
+
+
+def fast_memory_capacity(config: PlatformConfig) -> float:
+    """The ``Z`` of the paper's Fig. 2 for one platform: its largest
+    modelled cache capacity (fallback 256 KiB)."""
+    largest = config.largest_cache_capacity
+    return float(largest if largest is not None else _DEFAULT_Z)
+
+
+@dataclass(frozen=True)
+class AlgorithmOnMachine:
+    """Model predictions for one algorithm instance on one platform."""
+
+    instance: AlgorithmInstance
+    machine: MachineParams
+    time: float  #: s
+    energy: float  #: J
+    power: float  #: W
+    regime: model.Regime
+
+    @property
+    def throughput(self) -> float:
+        """Work units per second."""
+        return self.instance.flops / self.time
+
+    @property
+    def work_per_joule(self) -> float:
+        """Work units per Joule."""
+        return self.instance.flops / self.energy
+
+
+def evaluate(
+    algorithm: Algorithm,
+    n: float,
+    config: PlatformConfig,
+    *,
+    capped: bool = True,
+) -> AlgorithmOnMachine:
+    """Predict time/energy/power for ``algorithm`` at size ``n`` on the
+    platform (Z taken from the platform's cache)."""
+    machine = config.truth
+    inst = algorithm.instance(n, fast_memory_capacity(config))
+    t = float(model.time(machine, inst.flops, inst.bytes_moved, capped=capped))
+    e = float(model.energy(machine, inst.flops, inst.bytes_moved, capped=capped))
+    return AlgorithmOnMachine(
+        instance=inst,
+        machine=machine,
+        time=t,
+        energy=e,
+        power=e / t,
+        regime=model.regime(machine, inst.intensity, capped=capped),
+    )
+
+
+def regime_transition_size(
+    algorithm: Algorithm,
+    config: PlatformConfig,
+    *,
+    target_intensity: float | None = None,
+    n_min: float = 2.0 ** 6,
+    n_max: float = 2.0 ** 34,
+) -> float | None:
+    """Smallest problem size at which the algorithm's intensity crosses
+    ``target_intensity`` (default: the platform's time balance, i.e.
+    the memory-/compute-bound boundary).
+
+    Returns ``None`` when the intensity never crosses in ``[n_min,
+    n_max]`` -- e.g. streaming kernels whose intensity is constant, or
+    the FFT whose intensity is (nearly) size-independent.  Assumes the
+    intensity is monotone in ``n`` over the scanned range, which holds
+    for the models in :mod:`repro.apps.algorithms`.
+    """
+    target = (
+        config.truth.time_balance if target_intensity is None else target_intensity
+    )
+    Z = fast_memory_capacity(config)
+    lo, hi = n_min, n_max
+    i_lo = algorithm.intensity(lo, Z)
+    i_hi = algorithm.intensity(hi, Z)
+    if (i_lo - target) * (i_hi - target) > 0:
+        return None  # no crossing in range
+    rising = i_hi > i_lo
+    for _ in range(200):
+        mid = math.sqrt(lo * hi)
+        above = algorithm.intensity(mid, Z) >= target
+        if above == rising:
+            hi = mid
+        else:
+            lo = mid
+        if hi / lo < 1.0 + 1e-9:
+            break
+    return math.sqrt(lo * hi)
+
+
+def best_platform(
+    algorithm: Algorithm,
+    n: float,
+    configs: dict[str, PlatformConfig],
+    *,
+    objective: str = "work_per_joule",
+) -> tuple[str, AlgorithmOnMachine]:
+    """The platform maximising throughput or work/Joule for the
+    algorithm at size ``n``."""
+    if objective not in ("work_per_joule", "throughput"):
+        raise ValueError(f"unknown objective {objective!r}")
+    best: tuple[str, AlgorithmOnMachine] | None = None
+    for pid, config in configs.items():
+        result = evaluate(algorithm, n, config)
+        score = getattr(result, objective)
+        if best is None or score > getattr(best[1], objective):
+            best = (pid, result)
+    assert best is not None
+    return best

@@ -1,0 +1,160 @@
+"""The paper's contribution: the capped energy-roofline model.
+
+Everything in this package is pure model -- no simulation, no
+measurement.  :mod:`repro.core.params` defines the platform parameter
+vector; :mod:`repro.core.model` evaluates eqs. (1)-(7);
+:mod:`repro.core.fitting` recovers parameters from measurements; the
+remaining modules implement the paper's derived analyses (rooflines and
+crossovers, balance intervals, throttling scenarios, ensembles, error
+distributions).
+"""
+
+from .balance import BalanceSummary, summarise_balance
+from .bounding import (
+    BoundedCandidate,
+    best_block,
+    best_mix,
+    bounded_ensemble,
+    crossover_budget,
+    evaluate_candidates,
+    pareto_frontier,
+)
+from .composite import CompositeMachine
+from .dvfs import (
+    dvfs_useless_threshold,
+    energy_savings,
+    optimal_frequency,
+    scaled_params,
+)
+from .errors import (
+    ErrorDistribution,
+    ModelErrorComparison,
+    compare_models,
+    error_distribution,
+)
+from .hierarchy import (
+    LevelCeiling,
+    ceilings,
+    levels_of,
+    locality_energy_gain,
+    locality_speedup,
+    params_for_level,
+)
+from . import irregular
+from .utilisation import UtilisationModel, fit_slope
+from .fitting import (
+    FitDiagnostics,
+    FitObservations,
+    ModelFit,
+    fit_cache_level,
+    fit_machine,
+    fit_random_access,
+)
+from .model import (
+    Regime,
+    avg_power,
+    energy,
+    energy_per_flop,
+    flop_costs,
+    flops_per_joule,
+    performance,
+    power_curve,
+    regime,
+    time,
+    time_per_flop,
+)
+from .params import CacheLevelParams, MachineParams, RandomAccessParams
+from .rooflines import (
+    RooflineCurve,
+    crossover_intensities,
+    dominance_intervals,
+    intensity_grid,
+    metric_ratio,
+    parity_upper_bound,
+    sample_curve,
+)
+from .scaling import (
+    EnsembleComparison,
+    compare_power_matched,
+    ensemble,
+    power_matched_count,
+    power_matched_ensemble,
+)
+from .throttle import (
+    DEFAULT_CAP_FACTORS,
+    ThrottleCurve,
+    ThrottleScenario,
+    cap_for_power_budget,
+    performance_retention,
+    power_retention,
+    throttle_scenario,
+)
+
+__all__ = [
+    "BoundedCandidate",
+    "best_block",
+    "best_mix",
+    "bounded_ensemble",
+    "crossover_budget",
+    "evaluate_candidates",
+    "pareto_frontier",
+    "CompositeMachine",
+    "dvfs_useless_threshold",
+    "energy_savings",
+    "optimal_frequency",
+    "scaled_params",
+    "LevelCeiling",
+    "ceilings",
+    "levels_of",
+    "locality_energy_gain",
+    "locality_speedup",
+    "params_for_level",
+    "irregular",
+    "UtilisationModel",
+    "fit_slope",
+    "BalanceSummary",
+    "summarise_balance",
+    "ErrorDistribution",
+    "ModelErrorComparison",
+    "compare_models",
+    "error_distribution",
+    "FitDiagnostics",
+    "FitObservations",
+    "ModelFit",
+    "fit_cache_level",
+    "fit_machine",
+    "fit_random_access",
+    "Regime",
+    "avg_power",
+    "energy",
+    "energy_per_flop",
+    "flop_costs",
+    "flops_per_joule",
+    "performance",
+    "power_curve",
+    "regime",
+    "time",
+    "time_per_flop",
+    "CacheLevelParams",
+    "MachineParams",
+    "RandomAccessParams",
+    "RooflineCurve",
+    "crossover_intensities",
+    "dominance_intervals",
+    "intensity_grid",
+    "metric_ratio",
+    "parity_upper_bound",
+    "sample_curve",
+    "EnsembleComparison",
+    "compare_power_matched",
+    "ensemble",
+    "power_matched_count",
+    "power_matched_ensemble",
+    "DEFAULT_CAP_FACTORS",
+    "ThrottleCurve",
+    "ThrottleScenario",
+    "cap_for_power_budget",
+    "performance_retention",
+    "power_retention",
+    "throttle_scenario",
+]

@@ -1,0 +1,83 @@
+"""Balance analysis: where each platform's regimes begin and end.
+
+Time balance ``B_tau`` is the classic machine flop:byte ratio; the
+power cap splits it into an interval ``[B_tau-, B_tau+]`` (eqs. 5-6)
+inside which execution is power-bound.  This module summarises those
+boundaries and related quantities for reporting and for the regime
+annotations of Figs. 5-7.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .params import MachineParams
+
+__all__ = ["BalanceSummary", "summarise_balance"]
+
+
+@dataclass(frozen=True)
+class BalanceSummary:
+    """All balance-related derived quantities of one platform."""
+
+    name: str
+    time_balance: float  #: B_tau, flop/B.
+    energy_balance: float  #: B_eps, flop/B.
+    cap_lower: float  #: B_tau-, flop/B (0 when bandwidth is uncapped-unreachable).
+    cap_upper: float  #: B_tau+, flop/B (inf when peak flops unreachable).
+    pi_flop: float  #: W.
+    pi_mem: float  #: W.
+    delta_pi: float  #: W.
+    cap_binds: bool  #: whether a power-bound regime exists at all.
+
+    @property
+    def cap_width_octaves(self) -> float:
+        """Width of the power-bound intensity interval in octaves
+        (log2 of the ratio); 0 when the cap never binds; inf when one
+        endpoint is degenerate."""
+        if not self.cap_binds:
+            return 0.0
+        if self.cap_lower <= 0.0 or math.isinf(self.cap_upper):
+            return math.inf
+        return math.log2(self.cap_upper / self.cap_lower)
+
+    @property
+    def ridge_power_deficit(self) -> float:
+        """``(pi_flop + pi_mem) / delta_pi``: how far over budget the
+        machine would be running both units flat out (> 1 means the cap
+        cuts into the roofline ridge)."""
+        if math.isinf(self.delta_pi):
+            return 0.0
+        return (self.pi_flop + self.pi_mem) / self.delta_pi
+
+    @property
+    def reachable_peak_fraction(self) -> float:
+        """Fraction of sustained peak flop/s reachable under the cap
+        (at infinite intensity)."""
+        if math.isinf(self.delta_pi) or self.pi_flop <= self.delta_pi:
+            return 1.0
+        return self.delta_pi / self.pi_flop
+
+    @property
+    def reachable_bandwidth_fraction(self) -> float:
+        """Fraction of sustained peak bandwidth reachable under the cap
+        (at zero intensity)."""
+        if math.isinf(self.delta_pi) or self.pi_mem <= self.delta_pi:
+            return 1.0
+        return self.delta_pi / self.pi_mem
+
+
+def summarise_balance(params: MachineParams) -> BalanceSummary:
+    """Compute the :class:`BalanceSummary` of one platform."""
+    return BalanceSummary(
+        name=params.name,
+        time_balance=params.time_balance,
+        energy_balance=params.energy_balance,
+        cap_lower=params.time_balance_lower,
+        cap_upper=params.time_balance_upper,
+        pi_flop=params.pi_flop,
+        pi_mem=params.pi_mem,
+        delta_pi=params.delta_pi,
+        cap_binds=params.cap_binds,
+    )

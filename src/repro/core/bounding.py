@@ -1,0 +1,235 @@
+"""Design-space search under a power bound (extension of Section V-D).
+
+Given a node power budget and a set of candidate building blocks, which
+block -- or mix of blocks -- should a system be built from?  This module
+turns the paper's worked 140 W example into a small optimisation API:
+
+* :func:`bounded_ensemble` -- the largest homogeneous ensemble of one
+  block inside a budget;
+* :func:`best_block` -- the block whose bounded ensemble maximises an
+  objective at a given intensity;
+* :func:`crossover_budget` -- the budget at which the best block
+  changes (the "power grain size" effect: small-pi1 blocks win tight
+  budgets);
+* :func:`pareto_frontier` -- blocks not dominated on the
+  (performance, energy-efficiency) plane at a given budget/intensity.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Literal, Mapping
+
+import numpy as np
+
+from . import model
+from .params import MachineParams
+from .scaling import ensemble
+
+__all__ = [
+    "BoundedCandidate",
+    "bounded_ensemble",
+    "evaluate_candidates",
+    "best_block",
+    "crossover_budget",
+    "pareto_frontier",
+]
+
+Objective = Literal["performance", "flops_per_joule"]
+
+
+@dataclass(frozen=True)
+class BoundedCandidate:
+    """One block's bounded ensemble and its scores."""
+
+    block_id: str
+    block: MachineParams
+    count: float
+    aggregate: MachineParams
+    performance: float  #: flop/s at the probe intensity.
+    flops_per_joule: float  #: flop/J at the probe intensity.
+    power: float  #: ensemble max power, W.
+
+    def score(self, objective: Objective) -> float:
+        if objective == "performance":
+            return self.performance
+        if objective == "flops_per_joule":
+            return self.flops_per_joule
+        raise ValueError(f"unknown objective {objective!r}")
+
+
+def bounded_ensemble(
+    block: MachineParams, budget: float
+) -> MachineParams | None:
+    """The largest whole-node ensemble of ``block`` within ``budget``
+    (None when even one node exceeds it)."""
+    if not budget > 0:
+        raise ValueError("budget must be positive")
+    if not block.is_capped:
+        raise ValueError(f"block {block.name!r} must have a finite cap")
+    per_node = block.pi1 + block.delta_pi
+    count = math.floor(budget / per_node)
+    if count < 1:
+        return None
+    return ensemble(block, count)
+
+
+def evaluate_candidates(
+    blocks: Mapping[str, MachineParams],
+    budget: float,
+    I: float,
+    *,
+    capped: bool = True,
+) -> list[BoundedCandidate]:
+    """Score every feasible block's bounded ensemble at intensity ``I``."""
+    out: list[BoundedCandidate] = []
+    for block_id, block in blocks.items():
+        if not block.is_capped:
+            continue
+        count = math.floor(budget / (block.pi1 + block.delta_pi))
+        if count < 1:
+            continue
+        aggregate = ensemble(block, count)
+        out.append(
+            BoundedCandidate(
+                block_id=block_id,
+                block=block,
+                count=float(count),
+                aggregate=aggregate,
+                performance=float(model.performance(aggregate, I, capped=capped)),
+                flops_per_joule=float(
+                    model.flops_per_joule(aggregate, I, capped=capped)
+                ),
+                power=aggregate.pi1 + aggregate.delta_pi,
+            )
+        )
+    return out
+
+
+def best_block(
+    blocks: Mapping[str, MachineParams],
+    budget: float,
+    I: float,
+    *,
+    objective: Objective = "performance",
+    capped: bool = True,
+) -> BoundedCandidate:
+    """The feasible block maximising the objective; raises when no
+    block fits the budget."""
+    candidates = evaluate_candidates(blocks, budget, I, capped=capped)
+    if not candidates:
+        raise ValueError(f"no candidate fits a {budget:g} W budget")
+    return max(candidates, key=lambda c: c.score(objective))
+
+
+def crossover_budget(
+    blocks: Mapping[str, MachineParams],
+    I: float,
+    *,
+    budgets: np.ndarray | None = None,
+    objective: Objective = "performance",
+) -> list[tuple[float, str]]:
+    """Scan budgets and report ``(budget, winner)`` at each change.
+
+    The first entry is the smallest scanned budget with any feasible
+    block.  Whole-node quantisation makes winners change at discrete
+    budgets -- the "power grain" effect.
+    """
+    if budgets is None:
+        budgets = np.linspace(5.0, 600.0, 120)
+    out: list[tuple[float, str]] = []
+    current: str | None = None
+    for budget in np.asarray(budgets, dtype=float):
+        candidates = evaluate_candidates(blocks, float(budget), I)
+        if not candidates:
+            continue
+        winner = max(candidates, key=lambda c: c.score(objective)).block_id
+        if winner != current:
+            out.append((float(budget), winner))
+            current = winner
+    return out
+
+
+def best_mix(
+    blocks: Mapping[str, MachineParams],
+    budget: float,
+    I: float,
+    *,
+    max_nodes_per_block: int = 64,
+) -> "CompositeMachine":
+    """The best *two-block* mix inside the budget, by performance.
+
+    Exhaustively enumerates counts of one block and fills the remaining
+    budget with whole nodes of a second (possibly the same) block --
+    small enough to search outright, and enough to beat any homogeneous
+    ensemble whose budget remainder another block could use.
+    """
+    from .composite import CompositeMachine
+    from . import model as _model
+
+    feasible = {
+        pid: p
+        for pid, p in blocks.items()
+        if p.is_capped and p.pi1 + p.delta_pi <= budget
+    }
+    if not feasible:
+        raise ValueError(f"no candidate fits a {budget:g} W budget")
+
+    best: CompositeMachine | None = None
+    best_perf = -math.inf
+    for pid_a, a in feasible.items():
+        node_a = a.pi1 + a.delta_pi
+        max_a = min(max_nodes_per_block, math.floor(budget / node_a))
+        for count_a in range(1, max_a + 1):
+            remaining = budget - count_a * node_a
+            # Fill the remainder with the best single block.
+            filler: tuple[MachineParams, int] | None = None
+            filler_perf = 0.0
+            for pid_b, b in feasible.items():
+                node_b = b.pi1 + b.delta_pi
+                count_b = math.floor(remaining / node_b)
+                if count_b < 1:
+                    continue
+                perf = count_b * float(_model.performance(b, I))
+                if perf > filler_perf:
+                    filler, filler_perf = (b, count_b), perf
+            components = [(a, float(count_a))]
+            if filler is not None:
+                b, count_b = filler
+                if b is a:
+                    components = [(a, float(count_a + count_b))]
+                else:
+                    components.append((b, float(count_b)))
+            mix = CompositeMachine(
+                name=f"mix@{budget:g}W", components=tuple(components)
+            )
+            perf = float(mix.performance(I))
+            if perf > best_perf:
+                best, best_perf = mix, perf
+    assert best is not None
+    return best
+
+
+def pareto_frontier(
+    blocks: Mapping[str, MachineParams],
+    budget: float,
+    I: float,
+) -> list[BoundedCandidate]:
+    """Candidates not dominated on (performance, flops/J), sorted by
+    descending performance."""
+    candidates = evaluate_candidates(blocks, budget, I)
+    frontier = [
+        c
+        for c in candidates
+        if not any(
+            other.performance >= c.performance
+            and other.flops_per_joule >= c.flops_per_joule
+            and (
+                other.performance > c.performance
+                or other.flops_per_joule > c.flops_per_joule
+            )
+            for other in candidates
+        )
+    ]
+    return sorted(frontier, key=lambda c: -c.performance)

@@ -1,0 +1,139 @@
+"""Heterogeneous ensembles of building blocks (extension).
+
+:mod:`repro.core.scaling` aggregates *identical* nodes into a single
+:class:`~repro.core.params.MachineParams`.  A mixed system (say, Titans
+for the dense phases plus Arndale boards for the bandwidth-bound ones)
+has no single parameter vector -- different components have different
+balances -- but its best-case behaviour at a given intensity is still
+analytic under perfect load balancing:
+
+* every component runs the same computation (same intensity ``I``);
+* work is split so all components finish together, i.e. proportionally
+  to their attainable performance at ``I``;
+* aggregate performance is then the sum of component performances, and
+  aggregate energy the sum of component energies over the common time.
+
+This is the same best-case spirit as the paper's Fig. 1 ensemble
+(interconnect ignored).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+import numpy as np
+
+from . import model
+from .params import MachineParams
+
+__all__ = ["CompositeMachine"]
+
+
+@dataclass(frozen=True)
+class CompositeMachine:
+    """A power-budgeted mix of heterogeneous building blocks."""
+
+    name: str
+    components: tuple[tuple[MachineParams, float], ...]  #: (block, count)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("name must be non-empty")
+        if not self.components:
+            raise ValueError("a composite needs at least one component")
+        for block, count in self.components:
+            if count <= 0:
+                raise ValueError(
+                    f"component {block.name!r} count must be positive"
+                )
+
+    @classmethod
+    def of(
+        cls, name: str, *components: tuple[MachineParams, float]
+    ) -> "CompositeMachine":
+        """Convenience constructor: ``CompositeMachine.of("mix", (a, 2), (b, 5))``."""
+        return cls(name=name, components=tuple(components))
+
+    # ------------------------------------------------------------------
+    # Aggregate static quantities.
+    # ------------------------------------------------------------------
+
+    @property
+    def max_power(self) -> float:
+        """Sum of component max model powers (pi1 + delta_pi), W."""
+        total = 0.0
+        for block, count in self.components:
+            per_node = (
+                block.pi1 + block.delta_pi if block.is_capped else block.max_power
+            )
+            total += count * per_node
+        return total
+
+    @property
+    def constant_power(self) -> float:
+        """Sum of component constant powers, W."""
+        return sum(count * block.pi1 for block, count in self.components)
+
+    @property
+    def peak_flops(self) -> float:
+        """Sum of sustained peaks, flop/s."""
+        return sum(count * block.peak_flops for block, count in self.components)
+
+    @property
+    def peak_bandwidth(self) -> float:
+        """Sum of sustained bandwidths, B/s."""
+        return sum(
+            count * block.peak_bandwidth for block, count in self.components
+        )
+
+    # ------------------------------------------------------------------
+    # Intensity-parameterised behaviour under perfect load balancing.
+    # ------------------------------------------------------------------
+
+    def performance(self, I, *, capped: bool = True):
+        """Aggregate attainable performance at intensity ``I``, flop/s."""
+        grid = np.asarray(I, dtype=float)
+        total = np.zeros_like(grid, dtype=float)
+        for block, count in self.components:
+            total = total + count * np.asarray(
+                model.performance(block, grid, capped=capped)
+            )
+        return float(total) if np.ndim(I) == 0 else total
+
+    def energy_per_flop(self, I, *, capped: bool = True):
+        """Aggregate energy per flop at intensity ``I``, J/flop.
+
+        With work shares proportional to component performance, every
+        component runs for the same time T per unit of aggregate work,
+        and the aggregate energy per flop is the performance-weighted
+        harmonic-style mix of component costs:
+
+            e = sum_i (share_i * e_i)   with share_i = perf_i / perf_total
+        """
+        grid = np.asarray(I, dtype=float)
+        perf_total = np.zeros_like(grid, dtype=float)
+        weighted = np.zeros_like(grid, dtype=float)
+        for block, count in self.components:
+            perf = count * np.asarray(model.performance(block, grid, capped=capped))
+            e = np.asarray(model.energy_per_flop(block, grid, capped=capped))
+            perf_total = perf_total + perf
+            weighted = weighted + perf * e
+        result = weighted / perf_total
+        return float(result) if np.ndim(I) == 0 else result
+
+    def flops_per_joule(self, I, *, capped: bool = True):
+        """Aggregate energy efficiency at intensity ``I``, flop/J."""
+        e = self.energy_per_flop(I, capped=capped)
+        return 1.0 / e
+
+    def avg_power(self, I, *, capped: bool = True):
+        """Aggregate average power while running at intensity ``I``, W."""
+        perf = self.performance(I, capped=capped)
+        e = self.energy_per_flop(I, capped=capped)
+        return perf * e
+
+    def describe(self) -> str:
+        """One-line summary of the mix."""
+        parts = ", ".join(
+            f"{count:g} x {block.name}" for block, count in self.components
+        )
+        return f"{self.name}: {parts} ({self.max_power:.0f} W max)"

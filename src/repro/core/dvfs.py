@@ -1,0 +1,164 @@
+"""Frequency-dependent costs and energy-optimal throttling (extension).
+
+The paper's future work asks for "a different model of capping, perhaps
+one that does not assume constant time and energy costs per operation".
+This module supplies the standard next step: per-operation energy that
+*decreases* as frequency (and with it, voltage) drops,
+
+    eps(f) = eps * (alpha + (1 - alpha) * f^2),        0 < f <= 1,
+
+where ``alpha`` is the frequency-independent share (leakage, wires) and
+the ``f^2`` term models voltage scaling roughly proportional to
+frequency.  Time costs scale as ``tau / f``.  Constant power ``pi1`` is
+untouched -- which is exactly why the race-to-idle/crawl trade-off is
+interesting on these platforms: slowing down saves dynamic energy but
+pays more ``pi1 * T``.
+
+:func:`optimal_frequency` minimises energy per flop at a given
+intensity over ``f``; :func:`energy_savings` reports how much the
+optimum saves over running flat out.  The headline connection to the
+paper's Section V-C: platforms whose constant-power fraction is high
+gain nothing from slowing down (the optimum pins at ``f = 1``), so
+"driving down pi1" is also what would make DVFS worthwhile.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import replace
+
+from . import model
+from .params import MachineParams
+
+__all__ = [
+    "scaled_params",
+    "energy_per_flop_at",
+    "optimal_frequency",
+    "energy_savings",
+    "dvfs_useless_threshold",
+]
+
+
+def _check_f(f: float) -> None:
+    if not 0.0 < f <= 1.0:
+        raise ValueError(f"relative frequency must be in (0, 1], got {f!r}")
+
+
+def _check_alpha(alpha: float) -> None:
+    if not 0.0 <= alpha <= 1.0:
+        raise ValueError(f"alpha must be in [0, 1], got {alpha!r}")
+
+
+def scaled_params(
+    params: MachineParams, f: float, *, alpha: float = 0.3
+) -> MachineParams:
+    """The platform run at relative frequency ``f``.
+
+    Time costs scale as ``1/f`` (both compute and the memory interface
+    -- uncore DVFS); marginal energies scale as
+    ``alpha + (1 - alpha) f^2``; ``pi1`` is unchanged; the cap is kept
+    (a lower-frequency machine still has its power limit).  Cache and
+    random-access parameters scale consistently.
+    """
+    _check_f(f)
+    _check_alpha(alpha)
+    g = alpha + (1.0 - alpha) * f * f
+    caches = tuple(
+        replace(c, bandwidth=c.bandwidth * f, eps_byte=c.eps_byte * g)
+        for c in params.caches
+    )
+    random = (
+        None
+        if params.random is None
+        else replace(
+            params.random,
+            rate=params.random.rate * f,
+            eps_access=params.random.eps_access * g,
+        )
+    )
+    return replace(
+        params,
+        name=f"{params.name}@f={f:g}",
+        tau_flop=params.tau_flop / f,
+        tau_mem=params.tau_mem / f,
+        tau_flop_double=(
+            None if params.tau_flop_double is None else params.tau_flop_double / f
+        ),
+        eps_flop=params.eps_flop * g,
+        eps_flop_double=(
+            None if params.eps_flop_double is None else params.eps_flop_double * g
+        ),
+        eps_mem=params.eps_mem * g,
+        caches=caches,
+        random=random,
+    )
+
+
+def energy_per_flop_at(
+    params: MachineParams, I: float, f: float, *, alpha: float = 0.3
+) -> float:
+    """Total energy per flop at intensity ``I`` and frequency ``f``."""
+    return float(model.energy_per_flop(scaled_params(params, f, alpha=alpha), I))
+
+
+def optimal_frequency(
+    params: MachineParams,
+    I: float,
+    *,
+    alpha: float = 0.3,
+    f_min: float = 0.1,
+    tol: float = 1e-4,
+) -> float:
+    """The frequency minimising energy per flop at intensity ``I``.
+
+    Golden-section search on ``[f_min, 1]``; the objective is unimodal
+    in ``f`` (a sum of a decreasing ``pi1/f`` hyperbola... rather, an
+    increasing-in-``1/f`` constant-energy term and an increasing-in-
+    ``f^2`` dynamic term), so the search converges to the global
+    optimum.
+    """
+    if not 0 < f_min < 1:
+        raise ValueError("f_min must be in (0, 1)")
+    phi = (math.sqrt(5.0) - 1.0) / 2.0
+    lo, hi = f_min, 1.0
+    x1 = hi - phi * (hi - lo)
+    x2 = lo + phi * (hi - lo)
+    e1 = energy_per_flop_at(params, I, x1, alpha=alpha)
+    e2 = energy_per_flop_at(params, I, x2, alpha=alpha)
+    while hi - lo > tol:
+        if e1 <= e2:
+            hi, x2, e2 = x2, x1, e1
+            x1 = hi - phi * (hi - lo)
+            e1 = energy_per_flop_at(params, I, x1, alpha=alpha)
+        else:
+            lo, x1, e1 = x1, x2, e2
+            x2 = lo + phi * (hi - lo)
+            e2 = energy_per_flop_at(params, I, x2, alpha=alpha)
+    # Compare the interior optimum against the full-speed endpoint --
+    # on high-pi1 platforms f = 1 wins outright.
+    best_interior = 0.5 * (lo + hi)
+    if energy_per_flop_at(params, I, best_interior, alpha=alpha) < (
+        energy_per_flop_at(params, I, 1.0, alpha=alpha)
+    ):
+        return best_interior
+    return 1.0
+
+
+def energy_savings(
+    params: MachineParams, I: float, *, alpha: float = 0.3
+) -> float:
+    """Fractional energy-per-flop saving of the optimal frequency over
+    full speed (0.0 when full speed is already optimal)."""
+    f_star = optimal_frequency(params, I, alpha=alpha)
+    full = energy_per_flop_at(params, I, 1.0, alpha=alpha)
+    best = energy_per_flop_at(params, I, f_star, alpha=alpha)
+    return max(0.0, 1.0 - best / full)
+
+
+def dvfs_useless_threshold(
+    params: MachineParams, I: float, *, alpha: float = 0.3
+) -> bool:
+    """True when slowing down cannot save energy at this intensity
+    (the pi1-dominated regime: the marginal dynamic saving per unit
+    slowdown is below the extra constant-energy charge)."""
+    return optimal_frequency(params, I, alpha=alpha) >= 1.0 - 1e-3

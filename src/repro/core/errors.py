@@ -1,0 +1,115 @@
+"""Model-error distributions and capped/uncapped comparison (Fig. 4).
+
+For each platform the paper fits both models to the same measurements,
+computes per-observation relative errors ``(model - measured)/measured``
+of performance, and compares the two error *distributions*: boxplot
+summaries for the figure, and a two-sample K-S test for the
+double-asterisk significance flags.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..stats.descriptive import BoxplotStats, boxplot_stats
+from ..stats.ks import KSResult, ks_2sample
+from .fitting import FitObservations, ModelFit
+
+__all__ = [
+    "ErrorDistribution",
+    "ModelErrorComparison",
+    "error_distribution",
+    "compare_models",
+]
+
+
+@dataclass(frozen=True)
+class ErrorDistribution:
+    """Relative errors of one fitted model on one platform."""
+
+    platform: str
+    model_label: str  #: "capped" or "uncapped".
+    metric: str  #: which quantity the errors are measured on.
+    errors: np.ndarray
+    stats: BoxplotStats
+
+    @property
+    def median(self) -> float:
+        return self.stats.median
+
+    @property
+    def overpredicts(self) -> bool:
+        """Whether the model's median error is positive (the bias the
+        paper reports: "most errors greater than zero")."""
+        return self.stats.median > 0
+
+
+def error_distribution(
+    fit: ModelFit,
+    obs: FitObservations,
+    *,
+    platform: str,
+    metric: str = "performance",
+) -> ErrorDistribution:
+    """Relative-error distribution of a fit on its observations."""
+    errors = fit.relative_errors(obs)
+    if metric not in errors:
+        raise ValueError(f"unknown metric {metric!r}; have {sorted(errors)}")
+    values = errors[metric]
+    return ErrorDistribution(
+        platform=platform,
+        model_label="capped" if fit.capped else "uncapped",
+        metric=metric,
+        errors=values,
+        stats=boxplot_stats(values),
+    )
+
+
+@dataclass(frozen=True)
+class ModelErrorComparison:
+    """Capped vs uncapped error distributions on one platform."""
+
+    platform: str
+    metric: str
+    uncapped: ErrorDistribution
+    capped: ErrorDistribution
+    ks: KSResult
+
+    @property
+    def distributions_differ(self) -> bool:
+        """The Fig. 4 double-asterisk criterion (K-S, p < 0.05)."""
+        return self.ks.significant(0.05)
+
+    @property
+    def median_improvement(self) -> float:
+        """Reduction in median |error| going uncapped -> capped."""
+        return abs(self.uncapped.median) - abs(self.capped.median)
+
+    @property
+    def spread_improvement(self) -> float:
+        """Reduction in IQR going uncapped -> capped."""
+        return self.uncapped.stats.iqr - self.capped.stats.iqr
+
+
+def compare_models(
+    uncapped_fit: ModelFit,
+    capped_fit: ModelFit,
+    obs: FitObservations,
+    *,
+    platform: str,
+    metric: str = "performance",
+) -> ModelErrorComparison:
+    """Build the full Fig. 4 comparison record for one platform."""
+    if uncapped_fit.capped or not capped_fit.capped:
+        raise ValueError("pass (uncapped_fit, capped_fit) in that order")
+    unc = error_distribution(uncapped_fit, obs, platform=platform, metric=metric)
+    cap = error_distribution(capped_fit, obs, platform=platform, metric=metric)
+    return ModelErrorComparison(
+        platform=platform,
+        metric=metric,
+        uncapped=unc,
+        capped=cap,
+        ks=ks_2sample(unc.errors, cap.errors),
+    )

@@ -1,0 +1,142 @@
+"""Cache-aware energy rooflines (extension).
+
+The paper's Table I fits per-level energies and bandwidths but its
+figures plot only the slow-memory roofline.  The natural extension --
+anticipated by the cache-aware roofline work it cites (Ilic et al.)
+-- is a *family* of ceilings, one per memory level: the attainable
+performance/efficiency when the working set is served by L1, L2 or
+DRAM.
+
+A level ceiling is just the base model with the slow-memory costs
+replaced by that level's inclusive costs, so the whole eq. (1)-(7)
+machinery applies unchanged; :func:`params_for_level` performs the
+substitution and everything else delegates to :mod:`repro.core.model`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Sequence
+
+import numpy as np
+
+from . import model
+from .params import MachineParams
+
+__all__ = [
+    "DRAM_LEVEL",
+    "levels_of",
+    "params_for_level",
+    "LevelCeiling",
+    "ceilings",
+    "locality_speedup",
+    "locality_energy_gain",
+]
+
+#: Pseudo-level name for slow memory in this module's interfaces.
+DRAM_LEVEL = "dram"
+
+
+def levels_of(params: MachineParams) -> tuple[str, ...]:
+    """The platform's memory levels, innermost first, ending in DRAM."""
+    return tuple(level.name for level in params.caches) + (DRAM_LEVEL,)
+
+
+def params_for_level(params: MachineParams, level: str) -> MachineParams:
+    """A copy of ``params`` whose "memory" is the named level.
+
+    For ``"dram"`` this is the platform itself; for a cache level the
+    slow-memory time/energy costs are replaced by the level's inclusive
+    costs.  All derived quantities (balances, cap interval, peak
+    efficiencies) then describe the cache-resident regime.
+    """
+    if level == DRAM_LEVEL:
+        return params
+    cache = params.cache_level(level)
+    return replace(
+        params,
+        name=f"{params.name}[{level}]",
+        tau_mem=cache.tau_byte,
+        eps_mem=cache.eps_byte,
+        description=f"{params.name} with traffic served by {level}",
+    )
+
+
+@dataclass(frozen=True)
+class LevelCeiling:
+    """One level's performance/efficiency ceiling over intensity."""
+
+    level: str
+    params: MachineParams  #: the substituted parameter vector.
+    intensity: np.ndarray
+    performance: np.ndarray  #: flop/s
+    flops_per_joule: np.ndarray  #: flop/J
+
+    @property
+    def balance(self) -> float:
+        """The level's time balance (flop per byte *from this level*)."""
+        return self.params.time_balance
+
+
+def ceilings(
+    params: MachineParams,
+    intensity: Sequence[float] | np.ndarray,
+    *,
+    capped: bool = True,
+    precision: str = "single",
+) -> dict[str, LevelCeiling]:
+    """The full family of level ceilings for one platform.
+
+    Note the intensity axis for a level ceiling counts flops per byte
+    *moved from that level* -- the working set is presumed resident
+    there (the cache microbenchmarks' regime).
+    """
+    grid = np.asarray(intensity, dtype=float)
+    out: dict[str, LevelCeiling] = {}
+    for level in levels_of(params):
+        p = params_for_level(params, level)
+        out[level] = LevelCeiling(
+            level=level,
+            params=p,
+            intensity=grid,
+            performance=np.asarray(
+                model.performance(p, grid, capped=capped, precision=precision)
+            ),
+            flops_per_joule=np.asarray(
+                model.flops_per_joule(p, grid, capped=capped, precision=precision)
+            ),
+        )
+    return out
+
+
+def locality_speedup(
+    params: MachineParams,
+    level: str,
+    I: float,
+    *,
+    capped: bool = True,
+) -> float:
+    """Speedup from serving the traffic out of ``level`` instead of
+    DRAM, at equal per-level intensity.
+
+    This quantifies the payoff of a blocking/tiling transformation that
+    moves a kernel's working set into the level: 1.0 when the kernel is
+    compute-bound either way.
+    """
+    fast = model.performance(params_for_level(params, level), I, capped=capped)
+    slow = model.performance(params, I, capped=capped)
+    return float(fast / slow)
+
+
+def locality_energy_gain(
+    params: MachineParams,
+    level: str,
+    I: float,
+    *,
+    capped: bool = True,
+) -> float:
+    """Energy-efficiency gain (flop/J ratio) of level residence over
+    DRAM residence at equal per-level intensity."""
+    fast = model.flops_per_joule(params_for_level(params, level), I, capped=capped)
+    slow = model.flops_per_joule(params, I, capped=capped)
+    return float(fast / slow)

@@ -1,0 +1,210 @@
+"""Irregular (mixed streaming + random access) workloads (extension).
+
+The paper's model abstracts an algorithm as ``(W, Q)``; its random-
+access benchmark and ``eps_rand`` column exist precisely because sparse
+and graph computations do not stream.  This module closes the loop: a
+:class:`Workload` carries flops, streamed bytes *and* dependent random
+accesses, and the eq. (1)/(3) forms extend term-by-term:
+
+    T = max(W tau_flop,  Q tau_mem + A tau_rand,  E_dyn / delta_pi)
+    E_dyn = W eps_flop + Q eps_mem + A eps_rand
+    E = E_dyn + pi1 T
+
+(streamed and dependent traffic share the memory pipeline, so they
+serialise against each other -- the same convention as the simulator's
+engine).
+
+It also packages representative sparse workloads (SpMV in CSR form)
+and the Section VI follow-up question: *is the Xeon Phi really the
+platform of choice for irregular work?*  On marginal energy per access
+it wins by 9x; once constant power is charged (the Section V-B
+effective-cost lens) the ranking inverts -- the same pi1 inversion the
+paper demonstrates for streaming.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .params import MachineParams
+
+__all__ = [
+    "Workload",
+    "spmv_workload",
+    "bfs_workload",
+    "time",
+    "energy",
+    "avg_power",
+    "flops_per_joule",
+    "effective_random_energy",
+    "rank_by_irregular_efficiency",
+]
+
+
+@dataclass(frozen=True)
+class Workload:
+    """An abstract computation with mixed access behaviour."""
+
+    name: str
+    flops: float  #: W
+    stream_bytes: float  #: Q, prefetchable traffic.
+    random_accesses: float  #: A, dependent cache-line fills.
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("workload name must be non-empty")
+        for field in ("flops", "stream_bytes", "random_accesses"):
+            if getattr(self, field) < 0:
+                raise ValueError(f"{field} must be non-negative")
+        if self.flops + self.stream_bytes + self.random_accesses == 0:
+            raise ValueError("workload must do some work")
+
+    @property
+    def stream_intensity(self) -> float:
+        """Flops per streamed byte (inf when nothing streams)."""
+        if self.stream_bytes == 0:
+            return math.inf
+        return self.flops / self.stream_bytes
+
+    @property
+    def randomness(self) -> float:
+        """Random accesses per flop -- 0 for dense streaming kernels."""
+        if self.flops == 0:
+            return math.inf if self.random_accesses else 0.0
+        return self.random_accesses / self.flops
+
+    def scaled(self, factor: float) -> "Workload":
+        if not factor > 0:
+            raise ValueError("factor must be positive")
+        return Workload(
+            name=self.name,
+            flops=self.flops * factor,
+            stream_bytes=self.stream_bytes * factor,
+            random_accesses=self.random_accesses * factor,
+        )
+
+
+def spmv_workload(
+    nnz: float,
+    n_rows: float,
+    *,
+    value_bytes: int = 4,
+    index_bytes: int = 4,
+    name: str = "spmv",
+) -> Workload:
+    """A CSR sparse matrix-vector multiply ``y = A x``.
+
+    Per nonzero: one multiply-add (2 flops), a streamed value + column
+    index, and one dependent gather of ``x[col]`` (random for a matrix
+    without exploitable structure).  Per row: streamed row pointer and
+    ``y`` update.
+    """
+    if nnz <= 0 or n_rows <= 0:
+        raise ValueError("nnz and n_rows must be positive")
+    flops = 2.0 * nnz
+    stream = nnz * (value_bytes + index_bytes) + n_rows * (index_bytes + value_bytes)
+    gathers = float(nnz)
+    return Workload(
+        name=name, flops=flops, stream_bytes=stream, random_accesses=gathers
+    )
+
+
+def bfs_workload(
+    edges: float,
+    vertices: float,
+    *,
+    index_bytes: int = 4,
+    name: str = "bfs",
+) -> Workload:
+    """A level-synchronous breadth-first search sweep.
+
+    Edge traversals stand in for "flops" (the paper's footnote 3: use
+    the computation's natural work unit).  Each edge examines a
+    neighbour id (streamed from the adjacency list) and probes the
+    visited structure at a random vertex; each vertex's adjacency
+    offsets stream once.
+    """
+    if edges <= 0 or vertices <= 0:
+        raise ValueError("edges and vertices must be positive")
+    return Workload(
+        name=name,
+        flops=float(edges),  # work unit: edges traversed
+        stream_bytes=edges * index_bytes + vertices * 2 * index_bytes,
+        random_accesses=float(edges),
+    )
+
+
+def _require_random(params: MachineParams) -> None:
+    if params.random is None:
+        raise ValueError(
+            f"platform {params.name!r} has no random-access parameters"
+        )
+
+
+def time(params: MachineParams, w: Workload, *, capped: bool = True) -> float:
+    """Best-case execution time of the workload, seconds."""
+    if w.random_accesses:
+        _require_random(params)
+    t_flop = w.flops * params.tau_flop
+    t_mem = w.stream_bytes * params.tau_mem
+    if w.random_accesses:
+        t_mem += w.random_accesses * params.random.tau_access
+    t = max(t_flop, t_mem)
+    if capped and params.is_capped:
+        t = max(t, _dynamic_energy(params, w) / params.delta_pi)
+    return t
+
+
+def _dynamic_energy(params: MachineParams, w: Workload) -> float:
+    e = w.flops * params.eps_flop + w.stream_bytes * params.eps_mem
+    if w.random_accesses:
+        e += w.random_accesses * params.random.eps_access
+    return e
+
+
+def energy(params: MachineParams, w: Workload, *, capped: bool = True) -> float:
+    """Total energy of the workload, Joules."""
+    return _dynamic_energy(params, w) + params.pi1 * time(params, w, capped=capped)
+
+
+def avg_power(params: MachineParams, w: Workload, *, capped: bool = True) -> float:
+    """Average power over the workload, Watts."""
+    return energy(params, w, capped=capped) / time(params, w, capped=capped)
+
+
+def flops_per_joule(
+    params: MachineParams, w: Workload, *, capped: bool = True
+) -> float:
+    """Work units per Joule for the workload."""
+    if w.flops == 0:
+        raise ValueError("workload performs no flops")
+    return w.flops / energy(params, w, capped=capped)
+
+
+def effective_random_energy(params: MachineParams) -> float:
+    """Total energy per dependent access including the constant-power
+    charge: ``eps_rand + pi1 * max(tau_rand, eps_rand/delta_pi)`` --
+    the Section V-B effective-cost lens applied to random access."""
+    _require_random(params)
+    tau = params.random.tau_access
+    if params.is_capped:
+        tau = max(tau, params.random.eps_access / params.delta_pi)
+    return params.random.eps_access + params.pi1 * tau
+
+
+def rank_by_irregular_efficiency(
+    platforms: dict[str, MachineParams],
+    workload: Workload,
+    *,
+    capped: bool = True,
+) -> list[tuple[str, float]]:
+    """Platforms ranked by work per Joule on an irregular workload
+    (descending); platforms without random-access parameters are
+    skipped."""
+    scores = []
+    for pid, params in platforms.items():
+        if workload.random_accesses and params.random is None:
+            continue
+        scores.append((pid, flops_per_joule(params, workload, capped=capped)))
+    return sorted(scores, key=lambda item: -item[1])

@@ -1,0 +1,335 @@
+"""The capped energy-roofline model (paper Section III, eqs. 1-7).
+
+Two model variants are exposed through the same functions:
+
+* the **capped** model of this paper (``capped=True``, the default),
+  whose execution time includes the power-throttling term
+  ``(W*eps_flop + Q*eps_mem) / delta_pi``;
+* the prior **uncapped** model of [Choi et al., IPDPS 2013]
+  (``capped=False``), where time is simply the max of flop time and
+  memory time.
+
+Every function accepts scalars or NumPy arrays for the work terms and
+broadcasts; scalars in give scalars out.
+
+Two parameterisations are provided, matching the paper's own usage:
+
+* *explicit work*: ``W`` flops and ``Q`` bytes (eqs. 1 and 3);
+* *intensity*: per-flop quantities as functions of ``I = W/Q``
+  (eqs. 2, 4 and 7), which is what the figures plot.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from typing import Union
+
+import numpy as np
+
+from .params import MachineParams
+
+__all__ = [
+    "Regime",
+    "flop_costs",
+    "time",
+    "energy",
+    "avg_power",
+    "time_per_flop",
+    "performance",
+    "energy_per_flop",
+    "flops_per_joule",
+    "power_curve",
+    "regime",
+]
+
+ArrayLike = Union[float, np.ndarray]
+
+
+class Regime(enum.IntEnum):
+    """Which term of eq. (3) binds at a given intensity."""
+
+    MEMORY = 0  #: memory-bandwidth bound (``Q tau_mem`` largest).
+    CAP = 1  #: power-cap bound (throttled; third term largest).
+    COMPUTE = 2  #: flop-throughput bound (``W tau_flop`` largest).
+
+
+def _as_array(x: ArrayLike) -> tuple[np.ndarray, bool]:
+    arr = np.asarray(x, dtype=float)
+    return arr, arr.ndim == 0
+
+
+def _restore(arr: np.ndarray, scalar: bool) -> ArrayLike:
+    return float(arr) if scalar else arr
+
+
+def flop_costs(params: MachineParams, precision: str = "single") -> tuple[float, float]:
+    """Return ``(tau_flop, eps_flop)`` for the requested precision.
+
+    Raises ``ValueError`` for unknown precisions and for platforms
+    without double-precision support (several Table I platforms).
+    """
+    if precision == "single":
+        return params.tau_flop, params.eps_flop
+    if precision == "double":
+        if params.tau_flop_double is None or params.eps_flop_double is None:
+            raise ValueError(
+                f"platform {params.name!r} has no double-precision parameters"
+            )
+        return params.tau_flop_double, params.eps_flop_double
+    raise ValueError(f"precision must be 'single' or 'double', got {precision!r}")
+
+
+def _effective_cap(params: MachineParams, capped: bool) -> float:
+    return params.delta_pi if capped else math.inf
+
+
+# ---------------------------------------------------------------------------
+# Explicit-work parameterisation: T(W, Q) and E(W, Q).
+# ---------------------------------------------------------------------------
+
+def time(
+    params: MachineParams,
+    W: ArrayLike,
+    Q: ArrayLike,
+    *,
+    capped: bool = True,
+    precision: str = "single",
+) -> ArrayLike:
+    """Best-case execution time ``T(W, Q)`` of eq. (3), in seconds.
+
+    ``T = max(W tau_flop, Q tau_mem, (W eps_flop + Q eps_mem)/delta_pi)``;
+    the third (throttling) term drops out when ``capped=False``.
+    """
+    tau_f, eps_f = flop_costs(params, precision)
+    w, w_scalar = _as_array(W)
+    q, q_scalar = _as_array(Q)
+    if np.any(w < 0) or np.any(q < 0):
+        raise ValueError("W and Q must be non-negative")
+    t = np.maximum(w * tau_f, q * params.tau_mem)
+    cap = _effective_cap(params, capped)
+    if math.isfinite(cap):
+        t = np.maximum(t, (w * eps_f + q * params.eps_mem) / cap)
+    return _restore(t, w_scalar and q_scalar)
+
+
+def energy(
+    params: MachineParams,
+    W: ArrayLike,
+    Q: ArrayLike,
+    *,
+    capped: bool = True,
+    precision: str = "single",
+) -> ArrayLike:
+    """Total energy ``E(W, Q)`` of eq. (1), in Joules.
+
+    ``E = W eps_flop + Q eps_mem + pi1 * T(W, Q)``.  The cap setting
+    enters only through the time term.
+    """
+    tau_f, eps_f = flop_costs(params, precision)
+    del tau_f  # time() re-derives it; kept for the precision validation.
+    w, w_scalar = _as_array(W)
+    q, q_scalar = _as_array(Q)
+    t = np.asarray(time(params, w, q, capped=capped, precision=precision))
+    e = w * eps_f + q * params.eps_mem + params.pi1 * t
+    return _restore(e, w_scalar and q_scalar)
+
+
+def avg_power(
+    params: MachineParams,
+    W: ArrayLike,
+    Q: ArrayLike,
+    *,
+    capped: bool = True,
+    precision: str = "single",
+) -> ArrayLike:
+    """Average power ``E(W, Q) / T(W, Q)``, in Watts.
+
+    Undefined (raises) when both ``W`` and ``Q`` are zero.
+    """
+    t = np.asarray(time(params, W, Q, capped=capped, precision=precision))
+    if np.any(t <= 0):
+        raise ValueError("avg_power requires positive total work (W + Q > 0)")
+    e = np.asarray(energy(params, W, Q, capped=capped, precision=precision))
+    p = e / t
+    _, w_scalar = _as_array(W)
+    _, q_scalar = _as_array(Q)
+    return _restore(p, w_scalar and q_scalar)
+
+
+# ---------------------------------------------------------------------------
+# Intensity parameterisation: per-flop quantities as functions of I = W/Q.
+# ---------------------------------------------------------------------------
+
+def _check_intensity(I: ArrayLike) -> tuple[np.ndarray, bool]:
+    arr, scalar = _as_array(I)
+    if np.any(~(arr > 0)):
+        raise ValueError("intensity values must be strictly positive")
+    return arr, scalar
+
+
+def time_per_flop(
+    params: MachineParams,
+    I: ArrayLike,
+    *,
+    capped: bool = True,
+    precision: str = "single",
+) -> ArrayLike:
+    """``T / W`` as a function of intensity -- eq. (4), in s/flop.
+
+    ``T/W = tau_flop * max(1, B_tau/I, (pi_flop/delta_pi)(1 + B_eps/I))``.
+    Supports ``I = inf`` (pure compute).
+    """
+    tau_f, eps_f = flop_costs(params, precision)
+    i, scalar = _check_intensity(I)
+    with np.errstate(divide="ignore"):  # I = inf is a legal pure-compute limit
+        inv_i = np.where(np.isinf(i), 0.0, 1.0 / i)
+    b_tau = params.tau_mem / tau_f
+    t = np.maximum(1.0, b_tau * inv_i)
+    cap = _effective_cap(params, capped)
+    if math.isfinite(cap):
+        pi_f = eps_f / tau_f
+        b_eps = params.eps_mem / eps_f
+        t = np.maximum(t, (pi_f / cap) * (1.0 + b_eps * inv_i))
+    return _restore(t * tau_f, scalar)
+
+
+def performance(
+    params: MachineParams,
+    I: ArrayLike,
+    *,
+    capped: bool = True,
+    precision: str = "single",
+) -> ArrayLike:
+    """Attainable throughput ``W / T`` at intensity ``I``, in flop/s.
+
+    This is the (time-)roofline curve, flattened by the cap where the
+    third term of eq. (4) binds.
+    """
+    t = np.asarray(time_per_flop(params, I, capped=capped, precision=precision))
+    _, scalar = _as_array(I)
+    return _restore(1.0 / t, scalar)
+
+
+def energy_per_flop(
+    params: MachineParams,
+    I: ArrayLike,
+    *,
+    capped: bool = True,
+    precision: str = "single",
+) -> ArrayLike:
+    """``E / W`` as a function of intensity -- eq. (2), in J/flop.
+
+    ``E/W = eps_flop (1 + B_eps/I) + pi1 * (T/W)``.
+    """
+    tau_f, eps_f = flop_costs(params, precision)
+    del tau_f
+    i, scalar = _check_intensity(I)
+    with np.errstate(divide="ignore"):
+        inv_i = np.where(np.isinf(i), 0.0, 1.0 / i)
+    b_eps = params.eps_mem / eps_f
+    t = np.asarray(time_per_flop(params, i, capped=capped, precision=precision))
+    e = eps_f * (1.0 + b_eps * inv_i) + params.pi1 * t
+    return _restore(e, scalar)
+
+
+def flops_per_joule(
+    params: MachineParams,
+    I: ArrayLike,
+    *,
+    capped: bool = True,
+    precision: str = "single",
+) -> ArrayLike:
+    """Energy-efficiency ``W / E`` at intensity ``I``, in flop/J.
+
+    This is the energy-roofline curve; its supremum over ``I`` is
+    :attr:`MachineParams.peak_flops_per_joule`.
+    """
+    e = np.asarray(energy_per_flop(params, I, capped=capped, precision=precision))
+    _, scalar = _as_array(I)
+    return _restore(1.0 / e, scalar)
+
+
+def power_curve(
+    params: MachineParams,
+    I: ArrayLike,
+    *,
+    capped: bool = True,
+    precision: str = "single",
+) -> ArrayLike:
+    """Average power ``P(I)`` -- the closed form of eq. (7), in Watts.
+
+    Three regimes: rising with ``I`` while memory-bound, flat at
+    ``pi1 + delta_pi`` while cap-bound, falling toward
+    ``pi1 + pi_flop`` while compute-bound.  Numerically identical to
+    ``energy_per_flop / time_per_flop`` (a property the tests assert).
+    """
+    tau_f, eps_f = flop_costs(params, precision)
+    i, scalar = _check_intensity(I)
+    pi_f = eps_f / tau_f
+    pi_m = params.pi_mem
+    b_tau = params.tau_mem / tau_f
+    cap = _effective_cap(params, capped)
+
+    with np.errstate(divide="ignore"):
+        inv_i = np.where(np.isinf(i), 0.0, 1.0 / i)
+
+    if not math.isfinite(cap) or cap >= pi_f + pi_m:
+        # Enough usable power everywhere: the two-piece uncapped form.
+        dynamic = np.where(
+            i >= b_tau,
+            pi_f + pi_m * b_tau * inv_i,
+            pi_f * i / b_tau + pi_m,
+        )
+        return _restore(params.pi1 + dynamic, scalar)
+
+    # Capped: compute the regime boundaries for this precision.
+    flop_headroom = cap - pi_f
+    upper = math.inf if flop_headroom <= 0 else b_tau * max(1.0, pi_m / flop_headroom)
+    mem_headroom = cap - pi_m
+    lower = 0.0 if mem_headroom <= 0 else b_tau * min(1.0, mem_headroom / pi_f)
+
+    dynamic = np.full_like(i, cap)
+    above = i >= upper
+    below = i <= lower
+    dynamic = np.where(above, pi_f + pi_m * b_tau * inv_i, dynamic)
+    dynamic = np.where(below, pi_f * i / b_tau + pi_m, dynamic)
+    return _restore(params.pi1 + dynamic, scalar)
+
+
+def regime(
+    params: MachineParams,
+    I: ArrayLike,
+    *,
+    capped: bool = True,
+    precision: str = "single",
+) -> Union[Regime, np.ndarray]:
+    """Classify each intensity into the binding :class:`Regime`.
+
+    Boundary intensities resolve away from :attr:`Regime.CAP`: an
+    intensity exactly at ``B_tau+`` counts as compute-bound and one at
+    ``B_tau-`` as memory-bound, matching eq. (7)'s closed intervals.
+    """
+    tau_f, eps_f = flop_costs(params, precision)
+    i, scalar = _check_intensity(I)
+    pi_f = eps_f / tau_f
+    pi_m = params.pi_mem
+    b_tau = params.tau_mem / tau_f
+    cap = _effective_cap(params, capped)
+
+    if not math.isfinite(cap) or cap >= pi_f + pi_m:
+        upper = lower = b_tau
+    else:
+        flop_headroom = cap - pi_f
+        upper = math.inf if flop_headroom <= 0 else b_tau * max(1.0, pi_m / flop_headroom)
+        mem_headroom = cap - pi_m
+        lower = 0.0 if mem_headroom <= 0 else b_tau * min(1.0, mem_headroom / pi_f)
+
+    out = np.where(
+        i >= upper,
+        int(Regime.COMPUTE),
+        np.where(i <= lower, int(Regime.MEMORY), int(Regime.CAP)),
+    )
+    if scalar:
+        return Regime(int(out))
+    return out.astype(int)

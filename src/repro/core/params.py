@@ -1,0 +1,376 @@
+"""Machine parameter vectors for the energy-roofline model.
+
+A platform in the paper's model (Section III) is fully described by
+
+* ``tau_flop`` -- time per flop (s/flop), the reciprocal of sustained
+  peak throughput;
+* ``tau_mem`` -- time per byte of slow-memory traffic (s/B), the
+  reciprocal of sustained stream bandwidth;
+* ``eps_flop`` -- marginal energy per flop (J/flop);
+* ``eps_mem`` -- marginal energy per byte (J/B);
+* ``pi1`` -- constant power (W), drawn regardless of activity;
+* ``delta_pi`` -- usable dynamic power above ``pi1`` (W); the power cap.
+  ``math.inf`` recovers the paper's earlier *uncapped* model.
+
+plus optional memory-hierarchy extensions (per-cache-level energy and
+bandwidth, random-access energy and rate) and double-precision costs.
+
+Derived quantities (time balance, energy balance, the capped balance
+interval, peak efficiencies) are exposed as properties so client code
+never re-derives them inconsistently.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Iterable, Mapping
+
+from ..units import throughput_to_cost
+
+__all__ = [
+    "CacheLevelParams",
+    "RandomAccessParams",
+    "MachineParams",
+]
+
+
+def _require_positive(name: str, value: float) -> None:
+    if not (isinstance(value, (int, float)) and math.isfinite(value) and value > 0):
+        raise ValueError(f"{name} must be a finite positive number, got {value!r}")
+
+
+def _require_nonnegative(name: str, value: float) -> None:
+    if not (isinstance(value, (int, float)) and math.isfinite(value) and value >= 0):
+        raise ValueError(f"{name} must be a finite non-negative number, got {value!r}")
+
+
+@dataclass(frozen=True)
+class CacheLevelParams:
+    """Energy and bandwidth of one level of the memory hierarchy.
+
+    The energy cost is *inclusive* in the paper's sense (Section V-B):
+    ``eps_byte`` is the additional energy to deliver one more byte from
+    this level to the registers, including every structure the byte
+    traverses on the way up.
+    """
+
+    name: str
+    eps_byte: float  #: J/B, inclusive marginal energy.
+    bandwidth: float  #: B/s, sustained streaming bandwidth of the level.
+    capacity: int | None = None  #: bytes; ``None`` when not modelled.
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("cache level name must be non-empty")
+        _require_positive(f"{self.name}.eps_byte", self.eps_byte)
+        _require_positive(f"{self.name}.bandwidth", self.bandwidth)
+        if self.capacity is not None and self.capacity <= 0:
+            raise ValueError(f"{self.name}.capacity must be positive if given")
+
+    @property
+    def tau_byte(self) -> float:
+        """Time per byte served from this level (s/B)."""
+        return throughput_to_cost(self.bandwidth)
+
+    @property
+    def power(self) -> float:
+        """Dynamic power when streaming at full bandwidth (W)."""
+        return self.eps_byte * self.bandwidth
+
+
+@dataclass(frozen=True)
+class RandomAccessParams:
+    """Cost of dependent (pointer-chasing) access to slow memory.
+
+    Each access fetches a full cache line but consumes only one word, so
+    ``eps_access`` is roughly an order of magnitude above ``eps_mem``
+    per *useful* byte (Section V-B).
+    """
+
+    eps_access: float  #: J per access.
+    rate: float  #: sustained accesses/s.
+
+    def __post_init__(self) -> None:
+        _require_positive("eps_access", self.eps_access)
+        _require_positive("rate", self.rate)
+
+    @property
+    def tau_access(self) -> float:
+        """Time per random access (s)."""
+        return throughput_to_cost(self.rate)
+
+
+@dataclass(frozen=True)
+class MachineParams:
+    """The fitted parameter vector of one platform (Table I row).
+
+    All values are in unprefixed SI units (see :mod:`repro.units`).
+    Single precision is the primary operand type throughout the paper;
+    double-precision costs are carried alongside when available.
+    """
+
+    name: str
+    tau_flop: float  #: s/flop (single precision).
+    tau_mem: float  #: s/B of slow-memory traffic.
+    eps_flop: float  #: J/flop (single precision).
+    eps_mem: float  #: J/B of slow-memory traffic.
+    pi1: float  #: constant power, W.
+    delta_pi: float = math.inf  #: usable dynamic power, W (inf = uncapped).
+    tau_flop_double: float | None = None  #: s/flop, double precision.
+    eps_flop_double: float | None = None  #: J/flop, double precision.
+    caches: tuple[CacheLevelParams, ...] = ()
+    random: RandomAccessParams | None = None
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("platform name must be non-empty")
+        _require_positive("tau_flop", self.tau_flop)
+        _require_positive("tau_mem", self.tau_mem)
+        _require_positive("eps_flop", self.eps_flop)
+        _require_positive("eps_mem", self.eps_mem)
+        _require_nonnegative("pi1", self.pi1)
+        if not (self.delta_pi > 0):  # inf allowed
+            raise ValueError(f"delta_pi must be positive (or inf), got {self.delta_pi!r}")
+        if (self.tau_flop_double is None) != (self.eps_flop_double is None):
+            raise ValueError(
+                "tau_flop_double and eps_flop_double must be given together"
+            )
+        if self.tau_flop_double is not None:
+            _require_positive("tau_flop_double", self.tau_flop_double)
+            _require_positive("eps_flop_double", self.eps_flop_double)
+        names = [level.name for level in self.caches]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate cache level names: {names}")
+
+    # ------------------------------------------------------------------
+    # Construction helpers.
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_throughputs(
+        cls,
+        name: str,
+        *,
+        flops: float,
+        bandwidth: float,
+        eps_flop: float,
+        eps_mem: float,
+        pi1: float,
+        delta_pi: float = math.inf,
+        flops_double: float | None = None,
+        eps_flop_double: float | None = None,
+        caches: Iterable[CacheLevelParams] = (),
+        random: RandomAccessParams | None = None,
+        description: str = "",
+    ) -> "MachineParams":
+        """Build from sustained throughputs instead of per-op costs.
+
+        ``flops`` is sustained single-precision flop/s and ``bandwidth``
+        sustained stream bandwidth in B/s -- the parenthetical values of
+        Table I columns 8 and 10.
+        """
+        tau_d = None if flops_double is None else throughput_to_cost(flops_double)
+        return cls(
+            name=name,
+            tau_flop=throughput_to_cost(flops),
+            tau_mem=throughput_to_cost(bandwidth),
+            eps_flop=eps_flop,
+            eps_mem=eps_mem,
+            pi1=pi1,
+            delta_pi=delta_pi,
+            tau_flop_double=tau_d,
+            eps_flop_double=eps_flop_double,
+            caches=tuple(caches),
+            random=random,
+            description=description,
+        )
+
+    # ------------------------------------------------------------------
+    # Basic reciprocals.
+    # ------------------------------------------------------------------
+
+    @property
+    def peak_flops(self) -> float:
+        """Sustained peak throughput, flop/s (cap ignored)."""
+        return 1.0 / self.tau_flop
+
+    @property
+    def peak_bandwidth(self) -> float:
+        """Sustained stream bandwidth, B/s (cap ignored)."""
+        return 1.0 / self.tau_mem
+
+    @property
+    def is_capped(self) -> bool:
+        """Whether a finite power cap is modelled."""
+        return math.isfinite(self.delta_pi)
+
+    # ------------------------------------------------------------------
+    # Power decomposition (Section III).
+    # ------------------------------------------------------------------
+
+    @property
+    def pi_flop(self) -> float:
+        """Peak flop power ``eps_flop / tau_flop`` (W)."""
+        return self.eps_flop / self.tau_flop
+
+    @property
+    def pi_mem(self) -> float:
+        """Peak memory power ``eps_mem / tau_mem`` (W)."""
+        return self.eps_mem / self.tau_mem
+
+    @property
+    def max_power(self) -> float:
+        """Highest average power the model permits, ``pi1 + min(delta_pi,
+        pi_flop + pi_mem)`` (W)."""
+        return self.pi1 + min(self.delta_pi, self.pi_flop + self.pi_mem)
+
+    @property
+    def cap_binds(self) -> bool:
+        """True when the cap is active somewhere: ``delta_pi`` below the
+        power needed to run flops and memory at full rate simultaneously."""
+        return self.delta_pi < self.pi_flop + self.pi_mem
+
+    # ------------------------------------------------------------------
+    # Balances (Section III, eqs. 4-6).
+    # ------------------------------------------------------------------
+
+    @property
+    def time_balance(self) -> float:
+        """``B_tau = tau_mem / tau_flop`` (flop/B): the machine's
+        intrinsic flop:byte ratio."""
+        return self.tau_mem / self.tau_flop
+
+    @property
+    def energy_balance(self) -> float:
+        """``B_eps = eps_mem / eps_flop`` (flop/B)."""
+        return self.eps_mem / self.eps_flop
+
+    @property
+    def time_balance_upper(self) -> float:
+        """``B_tau+`` of eq. (5): lowest intensity that is compute-bound.
+
+        Infinite when ``delta_pi <= pi_flop`` (peak flop rate is never
+        reachable, so no intensity is compute-bound).
+        """
+        if not self.is_capped or self.delta_pi >= self.pi_flop + self.pi_mem:
+            return self.time_balance
+        headroom = self.delta_pi - self.pi_flop
+        if headroom <= 0.0:
+            return math.inf
+        return self.time_balance * max(1.0, self.pi_mem / headroom)
+
+    @property
+    def time_balance_lower(self) -> float:
+        """``B_tau-`` of eq. (6): highest intensity that is memory-bound.
+
+        Zero when ``delta_pi <= pi_mem`` (peak bandwidth is never
+        reachable, so no intensity is memory-bound).
+        """
+        if not self.is_capped or self.delta_pi >= self.pi_flop + self.pi_mem:
+            return self.time_balance
+        headroom = self.delta_pi - self.pi_mem
+        if headroom <= 0.0:
+            return 0.0
+        return self.time_balance * min(1.0, headroom / self.pi_flop)
+
+    # ------------------------------------------------------------------
+    # Peak efficiencies (Fig. 5 panel annotations).
+    # ------------------------------------------------------------------
+
+    @property
+    def effective_tau_flop(self) -> float:
+        """Time per flop at infinite intensity, cap included (s/flop)."""
+        if self.is_capped:
+            return max(self.tau_flop, self.eps_flop / self.delta_pi)
+        return self.tau_flop
+
+    @property
+    def effective_tau_mem(self) -> float:
+        """Time per byte at zero intensity, cap included (s/B)."""
+        if self.is_capped:
+            return max(self.tau_mem, self.eps_mem / self.delta_pi)
+        return self.tau_mem
+
+    @property
+    def energy_per_flop_compute_bound(self) -> float:
+        """Total energy per flop at infinite intensity (J/flop):
+        ``eps_flop + pi1 * effective_tau_flop``."""
+        return self.eps_flop + self.pi1 * self.effective_tau_flop
+
+    @property
+    def energy_per_byte_memory_bound(self) -> float:
+        """Total energy per byte of pure streaming (J/B):
+        ``eps_mem + pi1 * effective_tau_mem`` -- the Section V-B
+        "effective streaming energy" that inverts raw ``eps_mem``
+        rankings on high-``pi1`` platforms."""
+        return self.eps_mem + self.pi1 * self.effective_tau_mem
+
+    @property
+    def peak_flops_per_joule(self) -> float:
+        """Peak energy-efficiency (flop/J), the Fig. 5 ordering key."""
+        return 1.0 / self.energy_per_flop_compute_bound
+
+    @property
+    def peak_bytes_per_joule(self) -> float:
+        """Peak memory energy-efficiency (B/J)."""
+        return 1.0 / self.energy_per_byte_memory_bound
+
+    @property
+    def constant_power_fraction(self) -> float:
+        """``pi1 / (pi1 + delta_pi)`` -- the Section V-C headroom metric.
+
+        Zero for uncapped machines (infinite usable power).
+        """
+        if not self.is_capped:
+            return 0.0
+        total = self.pi1 + self.delta_pi
+        return 0.0 if total == 0.0 else self.pi1 / total
+
+    # ------------------------------------------------------------------
+    # Memory hierarchy access.
+    # ------------------------------------------------------------------
+
+    @property
+    def cache_by_name(self) -> Mapping[str, CacheLevelParams]:
+        """Cache levels keyed by name (e.g. ``"L1"``, ``"L2"``)."""
+        return {level.name: level for level in self.caches}
+
+    def cache_level(self, name: str) -> CacheLevelParams:
+        """Return the named cache level or raise ``KeyError``."""
+        try:
+            return self.cache_by_name[name]
+        except KeyError:
+            raise KeyError(
+                f"platform {self.name!r} has no cache level {name!r}; "
+                f"available: {sorted(self.cache_by_name)}"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # Derived platforms (throttling and scaling scenarios).
+    # ------------------------------------------------------------------
+
+    def with_cap(self, delta_pi: float) -> "MachineParams":
+        """A copy with the power cap replaced (Section V-D throttling)."""
+        return replace(self, delta_pi=delta_pi)
+
+    def with_cap_scaled(self, factor: float) -> "MachineParams":
+        """A copy with ``delta_pi`` multiplied by ``factor`` (Fig. 6/7
+        uses factors 1, 1/2, 1/4, 1/8)."""
+        _require_positive("factor", factor)
+        if not self.is_capped:
+            raise ValueError(f"platform {self.name!r} is uncapped; nothing to scale")
+        return self.with_cap(self.delta_pi * factor)
+
+    def uncapped(self) -> "MachineParams":
+        """A copy with the cap removed (the prior model of [3], [4])."""
+        return replace(self, delta_pi=math.inf)
+
+    def renamed(self, name: str, description: str | None = None) -> "MachineParams":
+        """A copy under a different display name."""
+        return replace(
+            self,
+            name=name,
+            description=self.description if description is None else description,
+        )

@@ -1,0 +1,270 @@
+"""Roofline curves and cross-platform comparison utilities.
+
+The paper's figures plot three per-flop quantities against operational
+intensity on log-log axes: attainable performance (flop/s),
+energy-efficiency (flop/J) and average power (W).  This module samples
+those curves, normalises them for side-by-side display (Fig. 1) and
+solves for the *crossover intensities* at which one platform overtakes
+another -- the quantity behind claims like "the Arndale GPU matches the
+GTX Titan in flop/J for intensities as high as 4 flop:Byte".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Literal, Sequence
+
+import numpy as np
+
+from . import model
+from .params import MachineParams
+
+__all__ = [
+    "Metric",
+    "intensity_grid",
+    "RooflineCurve",
+    "sample_curve",
+    "metric_function",
+    "metric_ratio",
+    "crossover_intensities",
+    "dominance_intervals",
+]
+
+Metric = Literal["performance", "flops_per_joule", "power"]
+
+_METRICS: dict[str, Callable[..., np.ndarray]] = {
+    "performance": model.performance,
+    "flops_per_joule": model.flops_per_joule,
+    "power": model.power_curve,
+}
+
+
+def intensity_grid(
+    i_min: float = 1.0 / 8.0,
+    i_max: float = 512.0,
+    points_per_octave: int = 8,
+) -> np.ndarray:
+    """A log2-spaced intensity grid like the figures' x-axes.
+
+    The endpoints are always included; ``points_per_octave`` controls
+    density in between.
+    """
+    if not (i_min > 0 and i_max > i_min):
+        raise ValueError(f"need 0 < i_min < i_max, got {i_min!r}, {i_max!r}")
+    if points_per_octave < 1:
+        raise ValueError("points_per_octave must be >= 1")
+    octaves = math.log2(i_max / i_min)
+    n = max(2, int(round(octaves * points_per_octave)) + 1)
+    return np.logspace(math.log2(i_min), math.log2(i_max), n, base=2.0)
+
+
+def metric_function(metric: Metric) -> Callable[..., np.ndarray]:
+    """Resolve a metric name to its model function."""
+    try:
+        return _METRICS[metric]
+    except KeyError:
+        raise ValueError(
+            f"unknown metric {metric!r}; expected one of {sorted(_METRICS)}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class RooflineCurve:
+    """Sampled model curves for one platform over an intensity grid."""
+
+    params: MachineParams
+    intensity: np.ndarray
+    performance: np.ndarray  #: flop/s
+    flops_per_joule: np.ndarray  #: flop/J
+    power: np.ndarray  #: W
+    capped: bool = True
+
+    def __post_init__(self) -> None:
+        n = len(self.intensity)
+        for attr in ("performance", "flops_per_joule", "power"):
+            if len(getattr(self, attr)) != n:
+                raise ValueError(f"{attr} length must match intensity grid")
+
+    def metric(self, metric: Metric) -> np.ndarray:
+        """Return the sampled series for one metric name."""
+        metric_function(metric)  # validate the name
+        return getattr(self, metric)
+
+    def normalised(self, metric: Metric, reference: float) -> np.ndarray:
+        """Series divided by a reference value (Fig. 1's relative y-axis)."""
+        if not reference > 0:
+            raise ValueError("reference must be positive")
+        return self.metric(metric) / reference
+
+
+def sample_curve(
+    params: MachineParams,
+    intensity: Sequence[float] | np.ndarray | None = None,
+    *,
+    capped: bool = True,
+    precision: str = "single",
+) -> RooflineCurve:
+    """Sample all three metric curves for ``params``."""
+    grid = intensity_grid() if intensity is None else np.asarray(intensity, dtype=float)
+    return RooflineCurve(
+        params=params,
+        intensity=grid,
+        performance=np.asarray(
+            model.performance(params, grid, capped=capped, precision=precision)
+        ),
+        flops_per_joule=np.asarray(
+            model.flops_per_joule(params, grid, capped=capped, precision=precision)
+        ),
+        power=np.asarray(
+            model.power_curve(params, grid, capped=capped, precision=precision)
+        ),
+        capped=capped,
+    )
+
+
+def metric_ratio(
+    a: MachineParams,
+    b: MachineParams,
+    I: float | np.ndarray,
+    metric: Metric = "flops_per_joule",
+    *,
+    capped: bool = True,
+) -> float | np.ndarray:
+    """Ratio ``metric(a, I) / metric(b, I)`` -- ``> 1`` where ``a`` wins."""
+    fn = metric_function(metric)
+    return fn(a, I, capped=capped) / fn(b, I, capped=capped)
+
+
+def _log_ratio(
+    a: MachineParams, b: MachineParams, metric: Metric, capped: bool
+) -> Callable[[float], float]:
+    fn = metric_function(metric)
+
+    def f(i: float) -> float:
+        return math.log(fn(a, i, capped=capped)) - math.log(fn(b, i, capped=capped))
+
+    return f
+
+
+def crossover_intensities(
+    a: MachineParams,
+    b: MachineParams,
+    metric: Metric = "flops_per_joule",
+    *,
+    i_min: float = 2.0 ** -8,
+    i_max: float = 2.0 ** 12,
+    capped: bool = True,
+    scan_points_per_octave: int = 32,
+    tol: float = 1e-10,
+) -> list[float]:
+    """All intensities in ``[i_min, i_max]`` where the two platforms'
+    metric curves cross, in increasing order.
+
+    The curves are piecewise smooth with at most a handful of regime
+    breaks each, so a dense log-grid scan followed by bisection on each
+    sign change finds every crossing.  Tangential touches (equal without
+    sign change) are not reported.
+    """
+    f = _log_ratio(a, b, metric, capped)
+    grid = intensity_grid(i_min, i_max, scan_points_per_octave)
+    values = np.array([f(i) for i in grid])
+    roots: list[float] = []
+    for k in range(len(grid) - 1):
+        lo, hi = grid[k], grid[k + 1]
+        flo, fhi = values[k], values[k + 1]
+        if flo == 0.0 and (not roots or not math.isclose(roots[-1], lo)):
+            roots.append(float(lo))
+            continue
+        if flo * fhi < 0.0:
+            # Bisection in log-intensity space.
+            for _ in range(200):
+                mid = math.sqrt(lo * hi)
+                fmid = f(mid)
+                if abs(fmid) < tol or (hi - lo) / mid < tol:
+                    break
+                if flo * fmid < 0.0:
+                    hi = mid
+                else:
+                    lo, flo = mid, fmid
+            roots.append(float(math.sqrt(lo * hi)))
+    if values[-1] == 0.0:
+        roots.append(float(grid[-1]))
+    return roots
+
+
+def parity_upper_bound(
+    a: MachineParams,
+    b: MachineParams,
+    metric: Metric = "flops_per_joule",
+    *,
+    tolerance: float = 0.8,
+    i_min: float = 2.0 ** -8,
+    i_max: float = 2.0 ** 12,
+    capped: bool = True,
+) -> float:
+    """Highest intensity up to which ``a`` stays within ``tolerance`` of
+    ``b`` on the metric (ratio ``a/b >= tolerance``).
+
+    This is the sense in which Fig. 1's Arndale GPU "matches" the GTX
+    Titan in flop/J for intensities as high as 4: not exact equality,
+    but staying within a modest factor.  Returns ``i_min`` if ``a`` is
+    below tolerance everywhere, ``i_max`` if it never drops below.
+    """
+    if not 0 < tolerance:
+        raise ValueError("tolerance must be positive")
+    fn = metric_function(metric)
+    grid = intensity_grid(i_min, i_max, 32)
+    ratio = np.asarray(fn(a, grid, capped=capped)) / np.asarray(
+        fn(b, grid, capped=capped)
+    )
+    below = np.nonzero(ratio < tolerance)[0]
+    if len(below) == 0:
+        return float(i_max)
+    first = int(below[0])
+    if first == 0:
+        return float(i_min)
+    # Bisect between the last passing point and the first failing one.
+    lo, hi = float(grid[first - 1]), float(grid[first])
+    for _ in range(100):
+        mid = math.sqrt(lo * hi)
+        r = float(fn(a, mid, capped=capped) / fn(b, mid, capped=capped))
+        if r >= tolerance:
+            lo = mid
+        else:
+            hi = mid
+        if hi / lo < 1.0 + 1e-12:
+            break
+    return math.sqrt(lo * hi)
+
+
+def dominance_intervals(
+    a: MachineParams,
+    b: MachineParams,
+    metric: Metric = "flops_per_joule",
+    *,
+    i_min: float = 2.0 ** -8,
+    i_max: float = 2.0 ** 12,
+    capped: bool = True,
+) -> list[tuple[float, float, str]]:
+    """Partition ``[i_min, i_max]`` into intervals labelled by the winner.
+
+    Returns ``(lo, hi, winner)`` triples where ``winner`` is ``a.name``
+    or ``b.name``.  Adjacent intervals with the same winner are merged.
+    """
+    crossings = crossover_intensities(
+        a, b, metric, i_min=i_min, i_max=i_max, capped=capped
+    )
+    edges = [i_min, *crossings, i_max]
+    fn = metric_function(metric)
+    intervals: list[tuple[float, float, str]] = []
+    for lo, hi in zip(edges[:-1], edges[1:]):
+        if hi <= lo:
+            continue
+        mid = math.sqrt(lo * hi)
+        winner = a.name if fn(a, mid, capped=capped) >= fn(b, mid, capped=capped) else b.name
+        if intervals and intervals[-1][2] == winner:
+            intervals[-1] = (intervals[-1][0], hi, winner)
+        else:
+            intervals.append((lo, hi, winner))
+    return intervals

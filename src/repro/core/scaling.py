@@ -1,0 +1,163 @@
+"""Ensembles of building blocks and power-matched comparisons.
+
+Section I and Section V-D reason about assembling many copies of a
+low-power building block to match a high-power one: Fig. 1's dashed
+"47 x Arndale GPU" line is one GTX Titan's maximum power worth of
+Arndale GPUs.  An ensemble of ``n`` identical nodes has ``n`` times the
+throughput, bandwidth, constant power and usable power of one node,
+with unchanged per-operation energies -- interconnect costs are
+deliberately ignored, exactly as the paper's best-case analysis does.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+from . import model
+from .params import MachineParams
+
+__all__ = [
+    "ensemble",
+    "power_matched_count",
+    "power_matched_ensemble",
+    "EnsembleComparison",
+    "compare_power_matched",
+]
+
+
+def ensemble(block: MachineParams, n: float, name: str | None = None) -> MachineParams:
+    """An aggregate of ``n`` identical building blocks.
+
+    ``n`` may be fractional for analytical what-ifs; counts from
+    :func:`power_matched_count` are integers.  Per-op energies are
+    intensive (unchanged); throughputs and powers are extensive
+    (multiplied by ``n``).  Cache and random-access parameters keep
+    their per-node energies with ``n``-scaled rates.
+    """
+    if not n > 0:
+        raise ValueError(f"ensemble size must be positive, got {n!r}")
+    caches = tuple(
+        replace(level, bandwidth=level.bandwidth * n) for level in block.caches
+    )
+    random = (
+        None
+        if block.random is None
+        else replace(block.random, rate=block.random.rate * n)
+    )
+    return replace(
+        block,
+        name=name if name is not None else f"{n:g} x {block.name}",
+        tau_flop=block.tau_flop / n,
+        tau_mem=block.tau_mem / n,
+        tau_flop_double=(
+            None if block.tau_flop_double is None else block.tau_flop_double / n
+        ),
+        pi1=block.pi1 * n,
+        delta_pi=block.delta_pi * n if math.isfinite(block.delta_pi) else math.inf,
+        caches=caches,
+        random=random,
+        description=f"ensemble of {n:g} x {block.name}",
+    )
+
+
+def power_matched_count(
+    block: MachineParams,
+    reference: MachineParams,
+    *,
+    budget: float | None = None,
+    integral: bool = True,
+) -> float:
+    """How many ``block`` nodes fit in a power budget.
+
+    The budget defaults to the reference platform's maximum model power
+    ``pi1 + delta_pi``; pass ``budget`` explicitly for bounding
+    scenarios like Section V-D's 140 W cap.  With ``integral=True``
+    (default) the count is rounded to the nearest whole node, which is
+    how Fig. 1 arrives at 47 Arndale GPUs per GTX Titan.
+    """
+    if budget is None:
+        if not reference.is_capped:
+            raise ValueError(
+                f"reference {reference.name!r} is uncapped; pass an explicit budget"
+            )
+        budget = reference.pi1 + reference.delta_pi
+    if not budget > 0:
+        raise ValueError(f"power budget must be positive, got {budget!r}")
+    if not block.is_capped:
+        raise ValueError(f"building block {block.name!r} must have a finite cap")
+    per_node = block.pi1 + block.delta_pi
+    count = budget / per_node
+    if integral:
+        count = max(1.0, float(round(count)))
+    return count
+
+
+def power_matched_ensemble(
+    block: MachineParams,
+    reference: MachineParams,
+    *,
+    budget: float | None = None,
+    integral: bool = True,
+) -> MachineParams:
+    """The ensemble of ``block`` nodes matching ``reference`` (or an
+    explicit budget) on maximum power."""
+    n = power_matched_count(block, reference, budget=budget, integral=integral)
+    return ensemble(block, n)
+
+
+@dataclass(frozen=True)
+class EnsembleComparison:
+    """Outcome of a power-matched building-block comparison."""
+
+    reference: MachineParams
+    block: MachineParams
+    aggregate: MachineParams
+    count: float
+    #: aggregate peak flop/s over reference peak flop/s (< 1 in Fig. 1).
+    peak_ratio: float
+    #: aggregate bandwidth over reference bandwidth (~1.6 in Fig. 1).
+    bandwidth_ratio: float
+    #: aggregate max power over reference max power (~1 by construction).
+    power_ratio: float
+
+    def performance_ratio(self, I: float, *, capped: bool = True) -> float:
+        """Aggregate over reference attainable performance at ``I``."""
+        return float(
+            model.performance(self.aggregate, I, capped=capped)
+            / model.performance(self.reference, I, capped=capped)
+        )
+
+    def energy_efficiency_ratio(self, I: float, *, capped: bool = True) -> float:
+        """Aggregate over reference flop/J at ``I``."""
+        return float(
+            model.flops_per_joule(self.aggregate, I, capped=capped)
+            / model.flops_per_joule(self.reference, I, capped=capped)
+        )
+
+
+def compare_power_matched(
+    block: MachineParams,
+    reference: MachineParams,
+    *,
+    budget: float | None = None,
+    integral: bool = True,
+) -> EnsembleComparison:
+    """Build the power-matched ensemble and summarise it against the
+    reference platform (the Fig. 1 scenario)."""
+    count = power_matched_count(block, reference, budget=budget, integral=integral)
+    aggregate = ensemble(block, count)
+    ref_power = (
+        reference.pi1 + reference.delta_pi
+        if reference.is_capped
+        else reference.max_power
+    )
+    return EnsembleComparison(
+        reference=reference,
+        block=block,
+        aggregate=aggregate,
+        count=count,
+        peak_ratio=aggregate.peak_flops / reference.peak_flops,
+        bandwidth_ratio=aggregate.peak_bandwidth / reference.peak_bandwidth,
+        power_ratio=(aggregate.pi1 + aggregate.delta_pi) / ref_power,
+    )

@@ -1,0 +1,144 @@
+"""Power-throttling what-if scenarios (paper Section V-D, Figs. 6-7).
+
+Lowering the usable power ``delta_pi`` by a factor ``k`` -- all other
+parameters held fixed -- answers three questions per platform:
+
+* how much does *maximum system power* drop?  (Less than ``k``, because
+  constant power ``pi1`` is untouched -- Fig. 6.)
+* how much does *performance* drop at each intensity?  (Fig. 7a.)
+* how much does *energy-efficiency* drop?  (Fig. 7b.)
+
+The module evaluates whole curves for the figure reproductions and
+point queries for the Section V-D power-bounding arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from . import model
+from .params import MachineParams
+
+__all__ = [
+    "DEFAULT_CAP_FACTORS",
+    "ThrottleCurve",
+    "ThrottleScenario",
+    "throttle_scenario",
+    "performance_retention",
+    "power_retention",
+    "cap_for_power_budget",
+]
+
+#: The cap settings of Figs. 6 and 7: full, 1/2, 1/4, 1/8.
+DEFAULT_CAP_FACTORS: tuple[float, ...] = (1.0, 0.5, 0.25, 0.125)
+
+
+@dataclass(frozen=True)
+class ThrottleCurve:
+    """Model curves for one cap setting ``delta_pi * factor``."""
+
+    factor: float
+    params: MachineParams  #: the throttled parameter vector.
+    intensity: np.ndarray
+    power: np.ndarray  #: W.
+    performance: np.ndarray  #: flop/s.
+    flops_per_joule: np.ndarray  #: flop/J.
+    regimes: np.ndarray  #: model.Regime codes per intensity.
+
+    @property
+    def max_power(self) -> float:
+        """``pi1 + factor * delta_pi`` (W)."""
+        return self.params.pi1 + self.params.delta_pi
+
+
+@dataclass(frozen=True)
+class ThrottleScenario:
+    """A platform evaluated across several cap settings."""
+
+    base: MachineParams
+    curves: tuple[ThrottleCurve, ...]
+
+    def curve(self, factor: float) -> ThrottleCurve:
+        """The curve for one cap factor."""
+        for c in self.curves:
+            if np.isclose(c.factor, factor):
+                return c
+        raise KeyError(f"no curve for factor {factor!r}")
+
+    @property
+    def factors(self) -> tuple[float, ...]:
+        return tuple(c.factor for c in self.curves)
+
+    def power_reduction(self, factor: float) -> float:
+        """Max-power ratio versus the full cap -- strictly greater than
+        ``factor`` whenever ``pi1 > 0`` (the Fig. 6 observation)."""
+        full = self.curve(1.0).max_power
+        return self.curve(factor).max_power / full
+
+
+def throttle_scenario(
+    params: MachineParams,
+    intensity: Sequence[float] | np.ndarray,
+    factors: Sequence[float] = DEFAULT_CAP_FACTORS,
+    *,
+    precision: str = "single",
+) -> ThrottleScenario:
+    """Evaluate the Fig. 6/7 curves for one platform."""
+    if not params.is_capped:
+        raise ValueError(f"platform {params.name!r} is uncapped; nothing to throttle")
+    grid = np.asarray(intensity, dtype=float)
+    curves = []
+    for factor in factors:
+        p = params.with_cap_scaled(factor)
+        curves.append(
+            ThrottleCurve(
+                factor=float(factor),
+                params=p,
+                intensity=grid,
+                power=np.asarray(model.power_curve(p, grid, precision=precision)),
+                performance=np.asarray(model.performance(p, grid, precision=precision)),
+                flops_per_joule=np.asarray(
+                    model.flops_per_joule(p, grid, precision=precision)
+                ),
+                regimes=np.asarray(model.regime(p, grid, precision=precision)),
+            )
+        )
+    return ThrottleScenario(base=params, curves=tuple(curves))
+
+
+def performance_retention(
+    params: MachineParams, I: float, factor: float, *, precision: str = "single"
+) -> float:
+    """Performance at cap ``delta_pi * factor`` relative to the full cap,
+    at one intensity -- e.g. the paper's GTX Titan at ``I = 0.25`` under
+    ``delta_pi / 8`` retains ~0.31x."""
+    throttled = params.with_cap_scaled(factor)
+    return float(
+        model.performance(throttled, I, precision=precision)
+        / model.performance(params, I, precision=precision)
+    )
+
+
+def power_retention(params: MachineParams, factor: float) -> float:
+    """Max-power ratio after throttling: ``(pi1 + f*dpi) / (pi1 + dpi)``."""
+    if not params.is_capped:
+        raise ValueError(f"platform {params.name!r} is uncapped")
+    full = params.pi1 + params.delta_pi
+    return (params.pi1 + factor * params.delta_pi) / full
+
+
+def cap_for_power_budget(params: MachineParams, budget: float) -> MachineParams:
+    """Throttle a platform's cap so its maximum power meets ``budget``.
+
+    Section V-D's "reduce per-node power to 140 W" scenario.  Raises if
+    the budget is below constant power (no cap can reach it).
+    """
+    if budget <= params.pi1:
+        raise ValueError(
+            f"budget {budget!r} W is not above constant power {params.pi1!r} W "
+            f"of {params.name!r}"
+        )
+    return params.with_cap(budget - params.pi1)

@@ -1,0 +1,56 @@
+"""Common result type for experiment reproductions.
+
+Every experiment module exposes ``run(...) -> ExperimentResult`` (or a
+subclass).  A result carries the rendered body (tables/series, the
+textual equivalent of the paper's figure) and a list of
+:class:`~repro.report.compare.Claim` records checking the paper's
+statements against the reproduction's numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..report.compare import Claim, fraction_passing, render_claims
+
+__all__ = ["ExperimentResult"]
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one table/figure reproduction."""
+
+    experiment_id: str
+    title: str
+    body: str
+    claims: list[Claim] = field(default_factory=list)
+
+    @property
+    def n_claims(self) -> int:
+        return len(self.claims)
+
+    @property
+    def n_passing(self) -> int:
+        return sum(c.ok for c in self.claims)
+
+    @property
+    def pass_fraction(self) -> float:
+        return fraction_passing(self.claims)
+
+    def to_text(self) -> str:
+        """Full plain-text report: body plus the claims check table."""
+        parts = [f"== {self.experiment_id}: {self.title} =="]
+        if self.body:
+            parts.append(self.body)
+        if self.claims:
+            parts.append(
+                render_claims(
+                    self.claims,
+                    title=f"Paper-vs-reproduction checks "
+                    f"({self.n_passing}/{self.n_claims} pass)",
+                )
+            )
+        return "\n\n".join(parts)
+
+    def __str__(self) -> str:
+        return self.to_text()

@@ -1,0 +1,76 @@
+"""Shared campaign execution for the experiment reproductions.
+
+Table I and Fig. 4 both consume the full per-platform microbenchmark
+campaigns; running them once and sharing the fits keeps the experiment
+modules declarative.  ``CampaignSettings`` scales campaign size down
+for quick runs (benchmarks) and up for higher-fidelity reproduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..machine.platforms import PLATFORM_IDS, platform
+from ..microbench.intensity import balanced_intensities
+from ..microbench.suite import FittedPlatform, fit_campaign, run_campaign
+
+__all__ = ["CampaignSettings", "run_all_fits", "run_platform_fit"]
+
+
+@dataclass(frozen=True)
+class CampaignSettings:
+    """Knobs controlling campaign size and determinism."""
+
+    seed: int = 2014  #: the paper's publication year, for flavour.
+    replicates: int = 2
+    points_per_octave: int = 3
+    target_duration: float = 0.25  #: seconds per calibrated run.
+    include_double: bool = True
+    include_cache: bool = True
+    include_chase: bool = True
+
+    def scaled_down(self) -> "CampaignSettings":
+        """Cheaper settings for smoke tests and benchmark harnesses."""
+        return CampaignSettings(
+            seed=self.seed,
+            replicates=1,
+            points_per_octave=2,
+            target_duration=0.1,
+            include_double=False,
+            include_cache=self.include_cache,
+            include_chase=self.include_chase,
+        )
+
+
+def run_platform_fit(
+    platform_id: str, settings: CampaignSettings | None = None
+) -> FittedPlatform:
+    """Run and fit one platform's campaign."""
+    settings = settings or CampaignSettings()
+    config = platform(platform_id)
+    grid = balanced_intensities(
+        config, points_per_octave=settings.points_per_octave
+    )
+    campaign = run_campaign(
+        config,
+        seed=settings.seed,
+        replicates=settings.replicates,
+        intensities=grid,
+        target_duration=settings.target_duration,
+        include_double=settings.include_double,
+        include_cache=settings.include_cache,
+        include_chase=settings.include_chase,
+    )
+    rng = np.random.default_rng(settings.seed + 1)
+    return fit_campaign(campaign, rng=rng)
+
+
+def run_all_fits(
+    settings: CampaignSettings | None = None,
+    platform_ids: tuple[str, ...] | None = None,
+) -> dict[str, FittedPlatform]:
+    """Run and fit campaigns for every (or the given) platform."""
+    ids = platform_ids if platform_ids is not None else PLATFORM_IDS
+    return {pid: run_platform_fit(pid, settings) for pid in ids}

@@ -1,0 +1,161 @@
+"""Reproduction of Fig. 4: capped vs uncapped model error distributions.
+
+For each platform, both models are fit to the same campaign; the
+per-observation relative errors of predicted performance form two
+distributions compared by boxplot summary and a two-sample K-S test at
+p < 0.05 (the paper's double-asterisk criterion).
+
+The paper's headline findings checked here:
+
+* the capped model reduces the magnitude and/or spread of error on
+  every platform;
+* the bias is to overpredict (median errors above zero);
+* seven platforms' distributions differ significantly.
+
+Known divergence (documented in EXPERIMENTS.md): with ground truth
+taken literally from Table I, the cap regions implied for GTX 580,
+APU CPU and NUC CPU are wide enough that our K-S test flags them even
+though the paper's does not, and Xeon Phi's implied cap region (0.13
+octaves) is too narrow to flag even though the paper's test does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.errors import ModelErrorComparison, compare_models
+from ..microbench.suite import FittedPlatform
+from ..report.compare import Claim, claim_true
+from ..report.tables import Table
+from .base import ExperimentResult
+from .common import CampaignSettings, run_all_fits
+from .paper_reference import FIG4_FLAGGED, FIG4_ORDER
+
+__all__ = ["Fig4Result", "run", "compare_all"]
+
+
+@dataclass
+class Fig4Result(ExperimentResult):
+    """Fig. 4 result with the raw per-platform comparisons attached."""
+
+    comparisons: dict[str, ModelErrorComparison] | None = None
+
+    @property
+    def ordering(self) -> list[str]:
+        """Platform ids by descending median uncapped error (the
+        figure's x-axis order)."""
+        assert self.comparisons is not None
+        return sorted(
+            self.comparisons,
+            key=lambda pid: -self.comparisons[pid].uncapped.median,
+        )
+
+    @property
+    def flagged(self) -> set[str]:
+        """Platforms whose distributions differ at p < 0.05."""
+        assert self.comparisons is not None
+        return {
+            pid for pid, c in self.comparisons.items() if c.distributions_differ
+        }
+
+
+def compare_all(
+    fits: dict[str, FittedPlatform]
+) -> dict[str, ModelErrorComparison]:
+    """Build the capped-vs-uncapped comparison for every platform."""
+    return {
+        pid: compare_models(
+            fp.uncapped, fp.capped, fp.fit_observations, platform=pid
+        )
+        for pid, fp in fits.items()
+    }
+
+
+def run(
+    settings: CampaignSettings | None = None,
+    fits: dict[str, FittedPlatform] | None = None,
+) -> Fig4Result:
+    """Reproduce Fig. 4."""
+    fits = fits if fits is not None else run_all_fits(settings)
+    comparisons = compare_all(fits)
+
+    ordering = sorted(comparisons, key=lambda pid: -comparisons[pid].uncapped.median)
+    table = Table(
+        columns=[
+            "platform", "uncapped med", "capped med",
+            "uncapped IQR", "capped IQR", "KS D", "p", "flag",
+        ],
+        title="Performance prediction error (model - measured)/measured",
+    )
+    for pid in ordering:
+        c = comparisons[pid]
+        table.add_row(
+            pid,
+            f"{c.uncapped.median:+.3f}",
+            f"{c.capped.median:+.3f}",
+            f"{c.uncapped.stats.iqr:.3f}",
+            f"{c.capped.stats.iqr:.3f}",
+            f"{c.ks.statistic:.3f}",
+            f"{c.ks.pvalue:.1e}",
+            "**" if c.distributions_differ else "",
+        )
+
+    claims: list[Claim] = []
+    improved = [
+        pid
+        for pid, c in comparisons.items()
+        if abs(c.capped.median) <= abs(c.uncapped.median) + 1e-12
+        or c.capped.stats.iqr <= c.uncapped.stats.iqr + 1e-12
+    ]
+    claims.append(
+        claim_true(
+            "capped model improves error on every platform",
+            paper="lower median or tighter spread on all 12",
+            ours=f"{len(improved)}/12 improved",
+            ok=len(improved) == 12,
+            detail="|median| or IQR reduced",
+        )
+    )
+    over = [pid for pid, c in comparisons.items() if c.uncapped.overpredicts]
+    claims.append(
+        claim_true(
+            "bias is to overpredict",
+            paper="most errors greater than zero",
+            ours=f"uncapped median > 0 on {len(over)}/12 platforms",
+            ok=len(over) >= 10,
+            detail="positive median on >= 10 platforms",
+        )
+    )
+    flagged = {pid for pid, c in comparisons.items() if c.distributions_differ}
+    agreement = len(
+        (flagged & FIG4_FLAGGED) | (set(comparisons) - flagged - FIG4_FLAGGED)
+    )
+    claims.append(
+        claim_true(
+            "significantly different distributions (K-S, p<.05)",
+            paper=f"7 platforms flagged: {', '.join(sorted(FIG4_FLAGGED))}",
+            ours=f"{len(flagged)} flagged: {', '.join(sorted(flagged))}",
+            ok=agreement >= 8 and len(FIG4_FLAGGED & flagged) >= 5,
+            detail="flag set agrees on >= 8/12 platforms, >= 5 paper flags hit",
+        )
+    )
+    paper_top = set(FIG4_ORDER[:5])
+    ours_top = set(ordering[:6])
+    claims.append(
+        claim_true(
+            "worst uncapped platforms",
+            paper=f"top-5: {', '.join(FIG4_ORDER[:5])}",
+            ours=f"top-6: {', '.join(ordering[:6])}",
+            ok=len(paper_top & ours_top) >= 2,
+            detail=">= 2 of the paper's top-5 in our top-6 (ordering is "
+            "noise-sensitive; see EXPERIMENTS.md)",
+        )
+    )
+
+    return Fig4Result(
+        experiment_id="fig4",
+        title="Power/performance prediction error: capped vs uncapped model",
+        body=table.render(),
+        claims=claims,
+        comparisons=comparisons,
+    )

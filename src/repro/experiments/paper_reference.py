@@ -1,0 +1,291 @@
+"""The paper's reported values, embedded for comparison.
+
+Every experiment checks its reproduction against the numbers the paper
+itself reports.  This module is the single transcription of those
+numbers -- Table I, the Fig. 4 ordering and significance flags, the
+Fig. 5 panel annotations, and the worked scenario numbers of Sections
+I and V.  Values carry the paper's own units (pJ, nJ, Gflop/s, GB/s,
+W) to keep the transcription auditable against the PDF; conversion to
+SI happens at the comparison sites.
+
+Note the ground-truth constants in :mod:`repro.machine.platforms` are
+*also* sourced from Table I (by design -- see DESIGN.md); this module
+is the independent record that comparisons and tests reference, so a
+drive-by edit of the simulator constants cannot silently redefine
+"correct".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "Table1Row",
+    "TABLE1",
+    "FIG4_FLAGGED",
+    "FIG4_ORDER",
+    "FIG5_ANNOTATIONS",
+    "Fig5Annotation",
+    "FIG1",
+    "SECTION_VB",
+    "SECTION_VC",
+    "SECTION_VD",
+]
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One row of Table I, paper units.
+
+    ``None`` marks the paper's missing entries (no double support, no
+    cache/random benchmark on that platform).  Asterisked platforms are
+    those whose fitted constant power lies below observed idle power.
+    """
+
+    platform: str
+    processor: str
+    vendor_single_gflops: float
+    vendor_double_gflops: float | None
+    vendor_bw_gbps: float
+    pi1_w: float
+    idle_w: float
+    pi1_below_idle: bool  #: the "*" annotation of column 6.
+    delta_pi_w: float
+    eps_s_pj: float
+    sust_single_gflops: float
+    eps_d_pj: float | None
+    sust_double_gflops: float | None
+    eps_mem_pj: float
+    sust_bw_gbps: float
+    eps_l1_pj: float | None
+    sust_l1_gbps: float | None
+    eps_l2_pj: float | None
+    sust_l2_gbps: float | None
+    eps_rand_nj: float | None
+    sust_rand_maccs: float | None
+
+
+TABLE1: dict[str, Table1Row] = {
+    "desktop-cpu": Table1Row(
+        "Desktop CPU", "Intel Core i7-950 'Nehalem' (45 nm)",
+        107.0, 53.3, 25.6,
+        122.0, 79.9, False, 44.2,
+        371.0, 99.4, 670.0, 49.7,
+        795.0, 19.1,
+        135.0, 201.0, 168.0, 120.0,
+        108.0, 149.0,
+    ),
+    "nuc-cpu": Table1Row(
+        "NUC CPU", "Intel Core i3-3217U 'Ivy Bridge' (22 nm)",
+        57.6, 28.8, 25.6,
+        16.5, 13.2, False, 7.37,
+        14.7, 55.6, 24.3, 27.9,
+        418.0, 17.9,
+        8.75, 201.0, 14.3, 103.0,
+        54.6, 55.3,
+    ),
+    "nuc-gpu": Table1Row(
+        "NUC GPU", "Intel HD 4000 (Ivy Bridge)",
+        269.0, None, 25.6,
+        10.1, 13.2, True, 17.7,
+        6.1, 268.0, None, None,
+        837.0, 15.4,
+        None, None, None, None,
+        None, None,
+    ),
+    "apu-cpu": Table1Row(
+        "APU CPU", "AMD E2-1800 'Bobcat' (40 nm)",
+        13.6, 5.10, 10.7,
+        20.1, 11.8, False, 1.39,
+        33.5, 13.4, 119.0, 5.05,
+        435.0, 3.32,
+        84.0, 25.8, 138.0, 11.6,
+        75.6, 8.03,
+    ),
+    "apu-gpu": Table1Row(
+        "APU GPU", "AMD HD 7340 'Zacate'",
+        109.0, None, 10.7,
+        15.6, 11.8, False, 3.23,
+        5.82, 104.0, None, None,
+        333.0, 8.70,
+        6.47, 46.0, None, None,
+        45.8, 115.0,
+    ),
+    "gtx-580": Table1Row(
+        "GTX 580", "NVIDIA GF100 'Fermi' (40 nm)",
+        1580.0, 198.0, 192.0,
+        122.0, 148.0, True, 146.0,
+        99.7, 1400.0, 213.0, 196.0,
+        513.0, 171.0,
+        149.0, 761.0, 257.0, 284.0,
+        112.0, 977.0,
+    ),
+    "gtx-680": Table1Row(
+        "GTX 680", "NVIDIA GK104 'Kepler' (28 nm)",
+        3530.0, 147.0, 192.0,
+        66.4, 100.0, True, 145.0,
+        43.2, 3030.0, 263.0, 147.0,
+        437.0, 158.0,
+        51.0, 1150.0, 195.0, 297.0,
+        184.0, 1420.0,
+    ),
+    "gtx-titan": Table1Row(
+        "GTX Titan", "NVIDIA GK110 'Kepler' (28 nm)",
+        4990.0, 1660.0, 288.0,
+        123.0, 72.9, False, 164.0,
+        30.4, 4020.0, 93.9, 1600.0,
+        267.0, 239.0,
+        24.4, 1610.0, 195.0, 297.0,
+        48.0, 968.0,
+    ),
+    "xeon-phi": Table1Row(
+        "Xeon Phi", "Intel 5110P 'KNC' (22 nm)",
+        2020.0, 1010.0, 320.0,
+        180.0, 90.0, False, 36.1,
+        6.05, 2020.0, 12.4, 1010.0,
+        136.0, 181.0,
+        2.19, 2890.0, 8.65, 591.0,
+        5.11, 706.0,
+    ),
+    "pandaboard-es": Table1Row(
+        "PandaBoard ES", "TI OMAP4460 'Cortex-A9' (45 nm)",
+        9.60, 3.60, 3.20,
+        3.48, 2.74, False, 1.19,
+        37.2, 9.47, 302.0, 3.02,
+        810.0, 1.28,
+        79.5, 18.4, 134.0, 4.12,
+        60.9, 12.1,
+    ),
+    "arndale-cpu": Table1Row(
+        "Arndale CPU", "Samsung Exynos 5 'Cortex-A15' (32 nm)",
+        27.2, 6.80, 12.8,
+        5.50, 1.72, False, 2.01,
+        107.0, 15.8, 275.0, 3.97,
+        386.0, 3.94,
+        76.3, 50.8, 248.0, 15.2,
+        138.0, 14.8,
+    ),
+    "arndale-gpu": Table1Row(
+        "Arndale GPU", "ARM Mali T-604 (Samsung Exynos 5)",
+        72.0, None, 12.8,
+        1.28, 1.72, True, 4.83,
+        84.2, 33.0, None, None,
+        518.0, 8.39,
+        71.4, 33.4, None, None,
+        125.0, 33.6,
+    ),
+}
+
+#: Platforms whose capped/uncapped error distributions differ at
+#: p < 0.05 by the K-S test (Fig. 4's double asterisks).
+FIG4_FLAGGED: frozenset[str] = frozenset(
+    {
+        "arndale-gpu",
+        "nuc-gpu",
+        "arndale-cpu",
+        "gtx-680",
+        "pandaboard-es",
+        "xeon-phi",
+        "apu-gpu",
+    }
+)
+
+#: Fig. 4's x-axis order: descending median uncapped-model error.
+FIG4_ORDER: tuple[str, ...] = (
+    "arndale-gpu",
+    "nuc-gpu",
+    "arndale-cpu",
+    "gtx-680",
+    "pandaboard-es",
+    "gtx-titan",
+    "gtx-580",
+    "xeon-phi",
+    "desktop-cpu",
+    "nuc-cpu",
+    "apu-gpu",
+    "apu-cpu",
+)
+
+
+@dataclass(frozen=True)
+class Fig5Annotation:
+    """One Fig. 5 panel's annotations."""
+
+    peak_gflops_per_joule: float
+    peak_mb_per_joule: float
+    sustained_flops_pct: int  #: bracketed percentage on the flop/s line.
+    sustained_bw_pct: int  #: bracketed percentage on the GB/s line.
+
+
+#: Fig. 5 panels, in the figure's (left-to-right, top-to-bottom) order
+#: of decreasing peak energy-efficiency.
+FIG5_ANNOTATIONS: dict[str, Fig5Annotation] = {
+    "gtx-titan": Fig5Annotation(16.0, 1300.0, 81, 83),
+    "gtx-680": Fig5Annotation(15.0, 1200.0, 86, 82),
+    "xeon-phi": Fig5Annotation(11.0, 880.0, 100, 57),
+    "nuc-gpu": Fig5Annotation(8.8, 670.0, 100, 60),
+    "arndale-gpu": Fig5Annotation(8.1, 1500.0, 46, 66),
+    "apu-gpu": Fig5Annotation(6.4, 470.0, 95, 81),
+    "gtx-580": Fig5Annotation(5.3, 810.0, 88, 89),
+    "nuc-cpu": Fig5Annotation(3.2, 750.0, 97, 70),
+    "pandaboard-es": Fig5Annotation(2.5, 280.0, 99, 40),
+    "arndale-cpu": Fig5Annotation(2.2, 560.0, 58, 31),
+    "apu-cpu": Fig5Annotation(0.65, 150.0, 98, 31),
+    "desktop-cpu": Fig5Annotation(0.62, 140.0, 93, 74),
+}
+
+#: Fig. 1 / Section I headline numbers (GTX Titan vs Arndale GPU).
+FIG1 = {
+    # "Combining 47 of the mobile GPUs to match on peak power" (figure);
+    # the body text says "up to 42" -- an internal inconsistency the
+    # reproduction resolves in favour of the figure's max-power ratio.
+    "ensemble_count": 47,
+    "text_ensemble_count": 42,
+    "bandwidth_ratio": 1.6,
+    # "sacrificing peak performance (less than 1/2)"
+    "peak_ratio_upper_bound": 0.5,
+    # "the two systems match in flop/J for intensities as high as 4"
+    "energy_parity_intensity": 4.0,
+    # "within a factor of two of the GTX Titan in energy-efficiency"
+    "compute_bound_efficiency_gap": 2.0,
+}
+
+#: Section V-B worked example: total streaming energy per byte.
+SECTION_VB = {
+    "stream_energy_pj_per_byte": {
+        "xeon-phi": 1130.0,
+        "gtx-titan": 782.0,
+        "arndale-gpu": 671.0,
+    },
+    "constant_charge_pj_per_byte": {
+        "xeon-phi": 994.0,
+        "gtx-titan": 515.0,
+        "arndale-gpu": 153.0,
+    },
+    # eps_rand is "at least an order of magnitude higher" than eps_mem.
+    "rand_vs_mem_factor": 10.0,
+    # Xeon Phi's eps_rand is ~an order of magnitude below every other
+    # platform's (Section VI); 45.8/5.11 is actually 9.0x, so the check
+    # uses the paper's own margin loosely.
+    "phi_rand_advantage_factor": 8.0,
+}
+
+#: Section V-C findings.
+SECTION_VC = {
+    "pi1_fraction_majority_count": 7,  # of 12 platforms above 50 %
+    "pi1_fraction_threshold": 0.5,
+    "efficiency_correlation": -0.6,
+    # "measurements vary only between the range of 0.65 to 1.15" --
+    # within-platform power range is less than 2x.
+    "power_range_factor": 2.0,
+}
+
+#: Section V-D power-bounding scenario.
+SECTION_VD = {
+    "titan_bounded_power_w": 140.0,
+    "titan_cap_factor": 0.125,  # delta_pi / 8
+    "titan_perf_retention_at_quarter": 0.31,
+    "arndale_count_at_140w": 23,
+    "arndale_speedup_at_quarter": 2.8,
+    "fig1_speedup_at_low_intensity": 1.6,
+}

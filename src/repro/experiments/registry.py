@@ -1,0 +1,148 @@
+"""Registry of all experiment reproductions.
+
+Maps experiment ids (matching DESIGN.md's experiment index) to runner
+callables.  ``run_experiment`` shares campaign fits between the
+experiments that need them, so ``run_all`` executes each platform's
+microbenchmark campaign exactly once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..microbench.suite import FittedPlatform
+from . import (
+    fig1,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    section_vb,
+    section_vc,
+    section_vd,
+    section_vi,
+    table1,
+)
+from .base import ExperimentResult
+from .common import CampaignSettings, run_all_fits
+
+__all__ = ["ExperimentSpec", "EXPERIMENTS", "run_experiment", "run_all"]
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One registered experiment."""
+
+    experiment_id: str
+    title: str
+    paper_artifact: str  #: which table/figure/section it reproduces.
+    needs_campaigns: bool  #: whether it consumes the full campaign fits.
+    runner: Callable[..., ExperimentResult]
+
+
+EXPERIMENTS: dict[str, ExperimentSpec] = {
+    spec.experiment_id: spec
+    for spec in (
+        ExperimentSpec(
+            "table1",
+            "Platform summary: fitted constants vs Table I",
+            "Table I",
+            True,
+            lambda fits=None: table1.run(fits=fits),
+        ),
+        ExperimentSpec(
+            "fig1",
+            "GTX Titan vs Arndale GPU building blocks",
+            "Fig. 1",
+            False,
+            lambda fits=None: fig1.run(),
+        ),
+        ExperimentSpec(
+            "fig4",
+            "Capped vs uncapped model error distributions",
+            "Fig. 4",
+            True,
+            lambda fits=None: fig4.run(fits=fits),
+        ),
+        ExperimentSpec(
+            "fig5",
+            "Normalised power vs intensity (12 panels)",
+            "Fig. 5",
+            False,
+            lambda fits=None: fig5.run(),
+        ),
+        ExperimentSpec(
+            "fig6",
+            "Power under reduced caps",
+            "Fig. 6",
+            False,
+            lambda fits=None: fig6.run(),
+        ),
+        ExperimentSpec(
+            "fig7",
+            "Performance and energy-efficiency under reduced caps",
+            "Fig. 7a/7b",
+            False,
+            lambda fits=None: fig7.run(),
+        ),
+        ExperimentSpec(
+            "vb",
+            "Memory-hierarchy energy interpretation",
+            "Section V-B",
+            True,
+            lambda fits=None: section_vb.run(fits=fits),
+        ),
+        ExperimentSpec(
+            "vc",
+            "Constant power across platforms",
+            "Section V-C",
+            False,
+            lambda fits=None: section_vc.run(),
+        ),
+        ExperimentSpec(
+            "vd",
+            "Power throttling and bounding scenarios",
+            "Section V-D",
+            False,
+            lambda fits=None: section_vd.run(),
+        ),
+        ExperimentSpec(
+            "vi",
+            "Irregular workloads: the Xeon Phi remark (extension)",
+            "Section VI",
+            False,
+            lambda fits=None: section_vi.run(),
+        ),
+    )
+}
+
+
+def run_experiment(
+    experiment_id: str,
+    *,
+    fits: dict[str, FittedPlatform] | None = None,
+    settings: CampaignSettings | None = None,
+) -> ExperimentResult:
+    """Run one experiment by id, computing campaigns only if needed."""
+    try:
+        spec = EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; "
+            f"available: {sorted(EXPERIMENTS)}"
+        ) from None
+    if spec.needs_campaigns and fits is None:
+        fits = run_all_fits(settings)
+    return spec.runner(fits=fits)
+
+
+def run_all(
+    settings: CampaignSettings | None = None,
+) -> dict[str, ExperimentResult]:
+    """Run every registered experiment, sharing one campaign pass."""
+    fits = run_all_fits(settings)
+    return {
+        eid: run_experiment(eid, fits=fits, settings=settings)
+        for eid in EXPERIMENTS
+    }

@@ -1,0 +1,65 @@
+"""Simulated hardware substrate: platforms, caches, governor, engine.
+
+This package stands in for the nine physical systems of the paper's
+testbed.  Ground-truth physics constants come from Table I; the engine
+layers on the second-order behaviours (throttling governor, ridge
+rounding, OS interference, noise) that make measurement and model
+fitting realistic.  See DESIGN.md for the substitution rationale.
+"""
+
+from .cache import (
+    AccessStats,
+    CacheGeometry,
+    CacheHierarchySim,
+    CacheLevelSim,
+    expected_chase_level,
+    expected_stream_hits,
+    hierarchy_from_level_params,
+)
+from .config import PlatformConfig, PlatformEffects, VendorPeaks, smooth_max
+from .engine import Engine, RunResult, SessionResult
+from .governor import GovernorResult, GovernorSettings, run_governor
+from .kernel import DRAM, KernelSpec
+from .memory import Prefetcher, PrefetchStats, chase_counts, serving_level, stream_traffic
+from .noise import NoiseSpec
+from .platforms import PLATFORM_IDS, all_params, all_platforms, params, platform
+from .power import PowerTrace
+from .trace import chase_permutation, pointer_chase_trace, stream_trace, strided_trace
+
+__all__ = [
+    "AccessStats",
+    "CacheGeometry",
+    "CacheHierarchySim",
+    "CacheLevelSim",
+    "expected_chase_level",
+    "expected_stream_hits",
+    "hierarchy_from_level_params",
+    "PlatformConfig",
+    "PlatformEffects",
+    "VendorPeaks",
+    "smooth_max",
+    "Engine",
+    "RunResult",
+    "SessionResult",
+    "GovernorResult",
+    "GovernorSettings",
+    "run_governor",
+    "DRAM",
+    "KernelSpec",
+    "Prefetcher",
+    "PrefetchStats",
+    "chase_counts",
+    "serving_level",
+    "stream_traffic",
+    "NoiseSpec",
+    "PLATFORM_IDS",
+    "all_params",
+    "all_platforms",
+    "params",
+    "platform",
+    "PowerTrace",
+    "chase_permutation",
+    "pointer_chase_trace",
+    "stream_trace",
+    "strided_trace",
+]

@@ -1,0 +1,293 @@
+"""A trace-driven set-associative cache-hierarchy simulator.
+
+The microbenchmarks of Section IV need to know *where* their data is
+served from: the cache sweeps pin a working set inside one level, and
+the pointer-chasing benchmark's whole point is that dependent random
+accesses miss every level and pull a full line from DRAM.  This module
+provides a faithful (if small) cache simulator to derive those traffic
+splits from address traces, plus closed-form expectations for the
+regular patterns, cross-validated in the test suite.
+
+Addresses are byte addresses; the hierarchy is inclusive and write-
+allocate (reads only here -- the paper's microbenchmarks are read
+dominated and its ``eps_mem`` deliberately averages reads and writes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+__all__ = [
+    "CacheGeometry",
+    "CacheLevelSim",
+    "AccessStats",
+    "CacheHierarchySim",
+    "expected_stream_hits",
+    "expected_chase_level",
+]
+
+
+@dataclass(frozen=True)
+class CacheGeometry:
+    """Shape of one cache level."""
+
+    name: str
+    capacity: int  #: bytes
+    line_size: int  #: bytes
+    associativity: int  #: ways per set
+
+    def __post_init__(self) -> None:
+        for attr in ("capacity", "line_size", "associativity"):
+            value = getattr(self, attr)
+            if value <= 0:
+                raise ValueError(f"{attr} must be positive, got {value!r}")
+        if self.line_size & (self.line_size - 1):
+            raise ValueError("line_size must be a power of two")
+        if self.capacity % (self.line_size * self.associativity):
+            raise ValueError(
+                f"{self.name}: capacity {self.capacity} is not divisible by "
+                f"line_size * associativity"
+            )
+
+    @property
+    def n_sets(self) -> int:
+        """Number of sets."""
+        return self.capacity // (self.line_size * self.associativity)
+
+    @property
+    def n_lines(self) -> int:
+        """Total lines the level can hold."""
+        return self.capacity // self.line_size
+
+
+class CacheLevelSim:
+    """One set-associative LRU cache level.
+
+    Tracks tags per set with most-recently-used at the end of each
+    set's list.  Sized for microbenchmark traces (tens of thousands of
+    accesses), not full application simulation.
+    """
+
+    def __init__(self, geometry: CacheGeometry) -> None:
+        self.geometry = geometry
+        self._sets: list[list[int]] = [[] for _ in range(geometry.n_sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def reset_counters(self) -> None:
+        """Zero the hit/miss counters without flushing contents."""
+        self.hits = 0
+        self.misses = 0
+
+    def flush(self) -> None:
+        """Drop all cached lines and zero counters."""
+        self._sets = [[] for _ in range(self.geometry.n_sets)]
+        self.reset_counters()
+
+    def access_line(self, line_addr: int) -> bool:
+        """Access one line (line-granular address); True on hit.
+
+        On a miss the line is installed, evicting the set's LRU way if
+        the set is full.
+        """
+        geom = self.geometry
+        set_idx = line_addr % geom.n_sets
+        tag = line_addr // geom.n_sets
+        ways = self._sets[set_idx]
+        try:
+            ways.remove(tag)
+        except ValueError:
+            self.misses += 1
+            if len(ways) >= geom.associativity:
+                ways.pop(0)
+            ways.append(tag)
+            return False
+        self.hits += 1
+        ways.append(tag)
+        return True
+
+    @property
+    def occupancy(self) -> int:
+        """Number of lines currently resident."""
+        return sum(len(ways) for ways in self._sets)
+
+
+@dataclass
+class AccessStats:
+    """Where a trace's accesses were served from.
+
+    ``hits[k]`` counts accesses served by hierarchy level ``k`` (0 is
+    the level closest to the processor); ``dram`` counts accesses that
+    missed every level.  ``bytes_from`` converts to traffic under the
+    paper's *inclusive* cost convention: an access served by level k is
+    charged entirely to level k.
+    """
+
+    level_names: tuple[str, ...]
+    hits: list[int] = field(default_factory=list)
+    dram: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.hits:
+            self.hits = [0] * len(self.level_names)
+        if len(self.hits) != len(self.level_names):
+            raise ValueError("hits length must match level_names")
+
+    @property
+    def total(self) -> int:
+        """Total accesses recorded."""
+        return sum(self.hits) + self.dram
+
+    def bytes_from(self, access_size: int) -> dict[str, float]:
+        """Traffic per serving level, in bytes of *useful* data."""
+        out = {
+            name: float(count * access_size)
+            for name, count in zip(self.level_names, self.hits)
+        }
+        out["dram"] = float(self.dram * access_size)
+        return out
+
+    def fraction_from(self, level: str) -> float:
+        """Fraction of accesses served by the named level (or "dram")."""
+        if self.total == 0:
+            raise ValueError("no accesses recorded")
+        if level == "dram":
+            return self.dram / self.total
+        try:
+            idx = self.level_names.index(level)
+        except ValueError:
+            raise KeyError(f"unknown level {level!r}") from None
+        return self.hits[idx] / self.total
+
+
+class CacheHierarchySim:
+    """An inclusive multi-level hierarchy walked outward on miss."""
+
+    def __init__(self, levels: Sequence[CacheGeometry]) -> None:
+        if not levels:
+            raise ValueError("hierarchy needs at least one level")
+        line = levels[0].line_size
+        for geom in levels:
+            if geom.line_size != line:
+                raise ValueError("all levels must share one line size")
+        capacities = [geom.capacity for geom in levels]
+        if capacities != sorted(capacities):
+            raise ValueError("levels must be ordered inner (small) to outer")
+        self.levels = [CacheLevelSim(geom) for geom in levels]
+        self.line_size = line
+
+    @property
+    def level_names(self) -> tuple[str, ...]:
+        return tuple(sim.geometry.name for sim in self.levels)
+
+    def flush(self) -> None:
+        """Empty every level."""
+        for sim in self.levels:
+            sim.flush()
+
+    def access(self, addr: int) -> str:
+        """Access one byte address; returns the serving level's name
+        (or ``"dram"``).  Missed levels install the line (inclusive)."""
+        line_addr = addr // self.line_size
+        served: str | None = None
+        for sim in self.levels:
+            if sim.access_line(line_addr):
+                served = sim.geometry.name
+                break
+        if served is None:
+            return "dram"
+        return served
+
+    def run_trace(self, addrs: Iterable[int], access_size: int | None = None) -> AccessStats:
+        """Replay an address trace and tally serving levels.
+
+        ``access_size`` defaults to the line size and is only used for
+        the byte conversion in the returned stats.
+        """
+        del access_size  # recorded by the caller via AccessStats.bytes_from
+        stats = AccessStats(level_names=self.level_names)
+        index = {name: k for k, name in enumerate(self.level_names)}
+        for addr in addrs:
+            served = self.access(int(addr))
+            if served == "dram":
+                stats.dram += 1
+            else:
+                stats.hits[index[served]] += 1
+        return stats
+
+    def warm(self, addrs: Iterable[int]) -> None:
+        """Replay a trace purely to warm the hierarchy, then zero the
+        counters (microbenchmarks always run warm-up passes)."""
+        for addr in addrs:
+            self.access(int(addr))
+        for sim in self.levels:
+            sim.reset_counters()
+
+
+# ---------------------------------------------------------------------------
+# Closed-form expectations for the regular microbenchmark patterns.
+# ---------------------------------------------------------------------------
+
+def expected_stream_hits(
+    working_set: int,
+    capacities: Sequence[int],
+    *,
+    warm: bool = True,
+) -> int | None:
+    """Which level index serves a warm sequential sweep of
+    ``working_set`` bytes; ``None`` means DRAM.
+
+    With LRU and a working set that fits level ``k`` but not ``k-1``,
+    a warm sweep hits entirely in level ``k`` (modulo edge effects the
+    simulator reproduces and the tests bound).  A cold sweep, or one
+    larger than every capacity, streams from DRAM.
+    """
+    if working_set <= 0:
+        raise ValueError("working_set must be positive")
+    if not warm:
+        return None
+    for idx, capacity in enumerate(capacities):
+        if working_set <= capacity:
+            return idx
+    return None
+
+
+def expected_chase_level(
+    working_set: int,
+    capacities: Sequence[int],
+) -> int | None:
+    """Serving level for a warm random pointer chase over
+    ``working_set`` bytes (None = DRAM).  Same fit rule as streaming:
+    chasing within a resident set hits; beyond every capacity, each
+    dependent access is a DRAM line fill."""
+    return expected_stream_hits(working_set, capacities, warm=True)
+
+
+def hierarchy_from_level_params(
+    caches: Sequence,
+    line_size: int,
+    *,
+    default_associativity: int = 8,
+) -> CacheHierarchySim | None:
+    """Build a simulator from :class:`~repro.core.params.CacheLevelParams`
+    entries that carry capacities; returns None when none do."""
+    geometries = []
+    for level in caches:
+        if level.capacity is None:
+            continue
+        assoc = default_associativity
+        # Keep capacity divisible: shrink associativity if needed.
+        while level.capacity % (line_size * assoc) and assoc > 1:
+            assoc //= 2
+        geometries.append(
+            CacheGeometry(
+                name=level.name,
+                capacity=level.capacity,
+                line_size=line_size,
+                associativity=assoc,
+            )
+        )
+    if not geometries:
+        return None
+    return CacheHierarchySim(geometries)

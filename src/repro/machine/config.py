@@ -1,0 +1,178 @@
+"""Platform configuration: ground-truth physics plus second-order knobs.
+
+A :class:`PlatformConfig` is everything the simulator knows about one
+platform.  It separates three kinds of information:
+
+* ``truth`` -- the *hardware physics*: the parameter vector the machine
+  actually obeys.  For the twelve paper platforms these are Table I's
+  fitted constants, so the reproduction's fitted values can be checked
+  against a known answer.
+* ``vendor`` -- the manufacturer's claimed peaks (Table I columns 3-5),
+  used only for the "sustained fraction" annotations; nothing is
+  simulated from them.
+* ``effects`` -- second-order behaviours real hardware has and the
+  closed-form model does not: a discrete throttling governor, a rounded
+  roofline ridge, measurement noise, OS interference, and
+  utilisation-dependent energy scaling.  These are what make model
+  fitting (Fig. 4) a non-trivial exercise on the simulator, exactly as
+  it was on the physical machines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.params import MachineParams
+from .governor import GovernorSettings
+from .noise import NoiseSpec
+
+__all__ = ["VendorPeaks", "PlatformEffects", "PlatformConfig", "smooth_max"]
+
+
+@dataclass(frozen=True)
+class VendorPeaks:
+    """Manufacturer's claimed peaks (Table I columns 3-5)."""
+
+    flops_single: float  #: flop/s
+    bandwidth: float  #: B/s
+    flops_double: float | None = None  #: flop/s; None when unsupported.
+
+    def __post_init__(self) -> None:
+        if not self.flops_single > 0:
+            raise ValueError("flops_single must be positive")
+        if not self.bandwidth > 0:
+            raise ValueError("bandwidth must be positive")
+        if self.flops_double is not None and not self.flops_double > 0:
+            raise ValueError("flops_double must be positive when given")
+
+
+@dataclass(frozen=True)
+class PlatformEffects:
+    """Second-order hardware behaviours layered over the ideal model."""
+
+    #: Ridge rounding: execution overlap is a p-norm rather than a hard
+    #: max, with p = 1/ridge_smoothing.  0 disables (ideal overlap).
+    #: At the ridge a value s costs about 2**s in throughput -- e.g.
+    #: s = 0.15 rounds the knee by ~11 %.
+    ridge_smoothing: float = 0.05
+    #: Power-cap control loop characteristics.
+    governor: GovernorSettings = field(default_factory=GovernorSettings)
+    #: Stochastic effects (noise, OS interference).
+    noise: NoiseSpec = field(default_factory=NoiseSpec)
+    #: Utilisation-dependent energy scaling (Arndale GPU, Section V-C):
+    #: a unit whose pipeline utilisation is u spends
+    #: ``eps * (1 - slope * (1 - u))`` per operation.  0 disables.
+    utilisation_energy_slope: float = 0.0
+    #: Guard band of the hardware cap enforcement: the governor holds
+    #: dynamic power at ``delta_pi * (1 - cap_guard_band)`` rather than
+    #: the nominal budget (RAPL-style controllers undershoot their
+    #: limit to avoid overshoot excursions).  0 disables.
+    cap_guard_band: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.ridge_smoothing < 1:
+            raise ValueError("ridge_smoothing must be in [0, 1)")
+        if not 0 <= self.utilisation_energy_slope < 1:
+            raise ValueError("utilisation_energy_slope must be in [0, 1)")
+        if not 0 <= self.cap_guard_band < 1:
+            raise ValueError("cap_guard_band must be in [0, 1)")
+
+
+@dataclass(frozen=True)
+class PlatformConfig:
+    """Everything the simulator knows about one platform."""
+
+    truth: MachineParams
+    vendor: VendorPeaks
+    effects: PlatformEffects = field(default_factory=PlatformEffects)
+    #: Power observed when idle (Table I column 6, parenthetical).  On
+    #: four paper platforms this *exceeds* the fitted constant power --
+    #: idle power management runs deeper sleep states than the active
+    #: baseline the model's pi1 represents.
+    idle_power: float = 0.0
+    #: Cache-line size in bytes (used by trace generators and the
+    #: random-access benchmark).
+    line_size: int = 64
+    #: "cpu", "gpu" or "manycore" -- controls rail topology defaults.
+    kind: str = "cpu"
+    #: Process node in nm, informational (Table I column 2).
+    process_nm: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.idle_power < 0:
+            raise ValueError("idle_power must be non-negative")
+        if self.line_size <= 0 or (self.line_size & (self.line_size - 1)) != 0:
+            raise ValueError("line_size must be a positive power of two")
+        if self.kind not in ("cpu", "gpu", "manycore"):
+            raise ValueError(f"kind must be cpu/gpu/manycore, got {self.kind!r}")
+
+    @property
+    def name(self) -> str:
+        """The platform's display name (delegates to the truth params)."""
+        return self.truth.name
+
+    @property
+    def largest_cache_capacity(self) -> int | None:
+        """Capacity of the largest modelled cache, bytes (None if no
+        cache capacities are modelled)."""
+        capacities = [
+            level.capacity for level in self.truth.caches if level.capacity
+        ]
+        return max(capacities) if capacities else None
+
+    @property
+    def dram_resident_working_set(self) -> int:
+        """A working-set size safely beyond every cache (bytes).
+
+        Eight times the largest cache, with a 32 MiB floor for
+        platforms without modelled cache capacities.
+        """
+        largest = self.largest_cache_capacity
+        floor = 32 * 1024 * 1024
+        if largest is None:
+            return floor
+        return max(8 * largest, floor)
+
+    @property
+    def sustained_fraction_flops(self) -> float:
+        """Sustained single-precision peak over vendor claim."""
+        return self.truth.peak_flops / self.vendor.flops_single
+
+    @property
+    def sustained_fraction_bandwidth(self) -> float:
+        """Sustained stream bandwidth over vendor claim."""
+        return self.truth.peak_bandwidth / self.vendor.bandwidth
+
+    @property
+    def max_model_power(self) -> float:
+        """``pi1 + delta_pi``, the Fig. 5 normalisation constant (W)."""
+        if not self.truth.is_capped:
+            return self.truth.max_power
+        return self.truth.pi1 + self.truth.delta_pi
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        process = f", {self.process_nm} nm" if self.process_nm else ""
+        return (
+            f"{self.name} ({self.kind}{process}): "
+            f"{self.truth.peak_flops / 1e9:.3g} Gflop/s sustained, "
+            f"{self.truth.peak_bandwidth / 1e9:.3g} GB/s, "
+            f"pi1={self.truth.pi1:.3g} W, dpi={self.truth.delta_pi:.3g} W"
+        )
+
+
+def smooth_max(a: float, b: float, smoothing: float) -> float:
+    """The p-norm ridge used by the engine: ``(a^p + b^p)^(1/p)`` with
+    ``p = 1/smoothing``; ``smoothing = 0`` gives the exact max.
+
+    Always >= max(a, b), approaching it as smoothing -> 0; equals
+    ``2**smoothing * a`` when ``a == b`` (the rounded knee).
+    """
+    if smoothing == 0.0:
+        return max(a, b)
+    if a == 0.0 and b == 0.0:
+        return 0.0
+    p = 1.0 / smoothing
+    m = max(a, b)
+    # Factor out the max for numerical stability at large p.
+    return m * ((a / m) ** p + (b / m) ** p) ** smoothing

@@ -1,0 +1,284 @@
+"""The platform execution engine.
+
+``Engine.run`` turns a :class:`~repro.machine.kernel.KernelSpec` into
+what a real benchmark run produces: a wall time and a continuous power
+trace.  The engine applies, in order:
+
+1. *component times* -- flops at ``tau_flop``, per-level traffic at each
+   level's bandwidth, dependent accesses at the random-access rate;
+2. *ridge rounding* -- compute and memory overlap as a p-norm rather
+   than an ideal hard max (:func:`~repro.machine.config.smooth_max`);
+3. *utilisation-dependent energy scaling* -- per-op energy shrinks on
+   underutilised pipelines when the platform models it (Arndale GPU);
+4. *the power-cap governor* -- a discrete DVFS control loop that
+   throttles frequency whenever dynamic power exceeds ``delta_pi``;
+5. *OS interference* -- Poisson stalls at constant power (NUC GPU);
+6. *run-to-run noise* -- lognormal wall-time and per-segment power
+   noise.
+
+Everything above the closed-form model of :mod:`repro.core.model` is a
+*second-order effect*: with effects and noise disabled the engine's
+time and energy agree with the capped model to within the governor's
+discretisation, a property the integration tests assert.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.model import flop_costs
+from .config import PlatformConfig, smooth_max
+from .governor import run_governor
+from .kernel import DRAM, KernelSpec
+from .noise import apply_trace_noise, insert_stalls, lognormal_factor, sample_stalls
+from .power import PowerTrace
+
+__all__ = ["RunResult", "SessionResult", "Engine"]
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Ground truth of one kernel execution.
+
+    The *measured* time/energy an experiment should use come from the
+    measurement layer (:mod:`repro.measurement`), which samples
+    ``trace`` the way PowerMon 2 would; ``wall_time`` and the trace's
+    exact integral are the simulator's ground truth.
+    """
+
+    kernel: KernelSpec
+    wall_time: float  #: seconds, including stalls and time noise.
+    trace: PowerTrace  #: total platform power over the run.
+    throttled: bool  #: whether the governor intervened.
+    ideal_time: float  #: seconds the capped closed-form model predicts.
+
+    @property
+    def true_energy(self) -> float:
+        """Exact trace integral, Joules."""
+        return self.trace.energy()
+
+    @property
+    def true_avg_power(self) -> float:
+        """Exact average power, Watts."""
+        return self.trace.average_power()
+
+
+@dataclass(frozen=True)
+class SessionResult:
+    """A whole recorded campaign session: runs separated by idle.
+
+    ``windows`` holds the ground-truth ``(start, end)`` of each run on
+    the session timeline; the measurement layer's window detection
+    (:mod:`repro.measurement.session`) is checked against them.
+    """
+
+    trace: PowerTrace
+    windows: tuple[tuple[float, float], ...]
+    results: tuple[RunResult, ...]
+
+    @property
+    def n_runs(self) -> int:
+        return len(self.results)
+
+
+class Engine:
+    """Executes kernels on one simulated platform.
+
+    Parameters
+    ----------
+    config:
+        The platform to simulate.
+    rng:
+        Source of all randomness.  Pass a seeded generator for
+        reproducible campaigns; ``None`` disables every stochastic
+        effect (noise and interference), leaving only the deterministic
+        second-order physics.
+    """
+
+    def __init__(
+        self, config: PlatformConfig, rng: np.random.Generator | None = None
+    ) -> None:
+        self.config = config
+        self.rng = rng
+        self._level_costs = self._build_level_costs()
+
+    def _build_level_costs(self) -> dict[str, tuple[float, float]]:
+        """Per-level ``(tau_byte, eps_byte)`` including DRAM."""
+        truth = self.config.truth
+        costs = {DRAM: (truth.tau_mem, truth.eps_mem)}
+        for level in truth.caches:
+            costs[level.name] = (level.tau_byte, level.eps_byte)
+        return costs
+
+    # ------------------------------------------------------------------
+    # Deterministic physics.
+    # ------------------------------------------------------------------
+
+    def component_times(self, kernel: KernelSpec) -> tuple[float, float]:
+        """``(flop_time, memory_time)`` at full speed, seconds.
+
+        Memory time sums streaming transfers across levels with the
+        dependent-access time: they share the load/store path, so they
+        serialise against each other but overlap with the flops.
+        """
+        truth = self.config.truth
+        tau_f, _ = flop_costs(truth, kernel.precision)
+        t_flop = kernel.flops * tau_f
+        t_mem = 0.0
+        for level, volume in kernel.traffic.items():
+            if volume == 0.0:
+                continue
+            try:
+                tau, _ = self._level_costs[level]
+            except KeyError:
+                raise KeyError(
+                    f"platform {truth.name!r} has no level {level!r}; "
+                    f"available: {sorted(self._level_costs)}"
+                ) from None
+            t_mem += volume * tau
+        if kernel.random_accesses:
+            if truth.random is None:
+                raise ValueError(
+                    f"platform {truth.name!r} has no random-access parameters"
+                )
+            t_mem += kernel.random_accesses * truth.random.tau_access
+        return t_flop, t_mem
+
+    def dynamic_energy(self, kernel: KernelSpec) -> float:
+        """Dynamic (above-constant) energy of the kernel, Joules,
+        including utilisation-dependent scaling when modelled."""
+        truth = self.config.truth
+        _, eps_f = flop_costs(truth, kernel.precision)
+        t_flop, t_mem = self.component_times(kernel)
+        base = smooth_max(t_flop, t_mem, self.config.effects.ridge_smoothing)
+        slope = self.config.effects.utilisation_energy_slope
+        if base > 0.0 and slope > 0.0:
+            u_flop = min(1.0, t_flop / base)
+            u_mem = min(1.0, t_mem / base)
+            g_flop = 1.0 - slope * (1.0 - u_flop)
+            g_mem = 1.0 - slope * (1.0 - u_mem)
+        else:
+            g_flop = g_mem = 1.0
+        energy = kernel.flops * eps_f * g_flop
+        for level, volume in kernel.traffic.items():
+            _, eps = self._level_costs[level]
+            energy += volume * eps * g_mem
+        if kernel.random_accesses:
+            energy += kernel.random_accesses * truth.random.eps_access * g_mem
+        return energy
+
+    def ideal_time(self, kernel: KernelSpec) -> float:
+        """The capped closed-form model's time for this kernel
+        (hard max, no second-order effects), seconds."""
+        truth = self.config.truth
+        t_flop, t_mem = self.component_times(kernel)
+        t = max(t_flop, t_mem)
+        if truth.is_capped:
+            # Cap applies to the un-scaled dynamic energy (the model
+            # knows nothing of utilisation scaling).
+            _, eps_f = flop_costs(truth, kernel.precision)
+            energy = kernel.flops * eps_f
+            for level, volume in kernel.traffic.items():
+                _, eps = self._level_costs[level]
+                energy += volume * eps
+            if kernel.random_accesses:
+                energy += kernel.random_accesses * truth.random.eps_access
+            t = max(t, energy / truth.delta_pi)
+        return t
+
+    # ------------------------------------------------------------------
+    # Execution.
+    # ------------------------------------------------------------------
+
+    def run(self, kernel: KernelSpec) -> RunResult:
+        """Execute one kernel and return its ground-truth result."""
+        config = self.config
+        truth = config.truth
+        effects = config.effects
+
+        t_flop, t_mem = self.component_times(kernel)
+        base_time = smooth_max(t_flop, t_mem, effects.ridge_smoothing)
+        dyn_energy = self.dynamic_energy(kernel)
+        demand = dyn_energy / base_time if base_time > 0 else 0.0
+
+        cap = truth.delta_pi if truth.is_capped else math.inf
+        if math.isfinite(cap):
+            cap = cap * (1.0 - effects.cap_guard_band)
+            schedule = run_governor(base_time, demand, cap, effects.governor)
+            durations = schedule.durations
+            powers = truth.pi1 + schedule.frequencies * demand
+            throttled = schedule.throttled
+        else:
+            durations = np.array([base_time])
+            powers = np.array([truth.pi1 + demand])
+            throttled = False
+
+        trace = PowerTrace.from_durations(durations, powers)
+
+        if self.rng is not None:
+            noise = effects.noise
+            # OS interference: zero-progress stalls at constant power.
+            stalls = sample_stalls(
+                self.rng,
+                trace.duration,
+                noise.interference_rate,
+                noise.interference_duration,
+            )
+            trace = insert_stalls(trace, stalls, truth.pi1)
+            # Run-to-run throughput variation stretches the timeline.
+            factor = lognormal_factor(self.rng, noise.time_sigma)
+            if factor != 1.0:
+                trace = PowerTrace(trace.edges * factor, trace.values)
+            trace = apply_trace_noise(self.rng, trace, noise.power_sigma)
+
+        return RunResult(
+            kernel=kernel,
+            wall_time=trace.duration,
+            trace=trace,
+            throttled=throttled,
+            ideal_time=self.ideal_time(kernel),
+        )
+
+    def run_session(
+        self,
+        kernels: list[KernelSpec],
+        *,
+        idle_gap: float = 0.05,
+    ) -> "SessionResult":
+        """Execute kernels back to back with idle gaps, as a campaign
+        records them: idle, run, idle, run, ..., idle.
+
+        Returns the concatenated session trace plus the ground-truth
+        activity windows -- the reference the measurement layer's
+        window detection is validated against.
+        """
+        if not kernels:
+            raise ValueError("a session needs at least one kernel")
+        if not idle_gap > 0:
+            raise ValueError("idle_gap must be positive")
+        trace = self.idle_trace(idle_gap)
+        windows: list[tuple[float, float]] = []
+        results: list[RunResult] = []
+        for kernel in kernels:
+            result = self.run(kernel)
+            results.append(result)
+            start = trace.duration
+            trace = trace.concatenated(result.trace)
+            windows.append((start, trace.duration))
+            trace = trace.concatenated(self.idle_trace(idle_gap))
+        return SessionResult(
+            trace=trace, windows=tuple(windows), results=tuple(results)
+        )
+
+    def idle_trace(self, duration: float) -> PowerTrace:
+        """What the rig sees with no load: the platform's idle power
+        (which on several platforms differs from the fitted ``pi1``)."""
+        trace = PowerTrace.constant(self.config.idle_power, duration)
+        if self.rng is not None:
+            trace = apply_trace_noise(
+                self.rng, trace, self.config.effects.noise.power_sigma
+            )
+        return trace

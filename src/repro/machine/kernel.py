@@ -1,0 +1,114 @@
+"""Abstract kernel descriptors executed by the platform engine.
+
+A :class:`KernelSpec` is the simulator's analogue of one hand-tuned
+microbenchmark inner loop: so many flops, so many bytes moved from each
+memory level, so many dependent random accesses.  The microbenchmark
+layer (:mod:`repro.microbench`) builds these; the engine turns them
+into wall time and a power trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Mapping
+
+__all__ = ["DRAM", "KernelSpec"]
+
+#: Level name for slow memory in a kernel's traffic map.
+DRAM = "dram"
+
+_PATTERNS = ("stream", "random")
+_PRECISIONS = ("single", "double")
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """One microbenchmark configuration.
+
+    Attributes
+    ----------
+    name:
+        Display label, e.g. ``"intensity[I=2.0]"``.
+    flops:
+        Total floating-point operations ``W``.
+    traffic:
+        Bytes moved per memory level, keyed by level name (``"dram"``
+        or a cache level like ``"L1"``).  Under the paper's inclusive
+        cost convention each byte is charged to the deepest level it
+        came from.
+    random_accesses:
+        Dependent (pointer-chasing) slow-memory accesses.
+    precision:
+        ``"single"`` or ``"double"``.
+    pattern:
+        Dominant access pattern, informational.
+    working_set:
+        Bytes of distinct data touched, informational (used by result
+        records and sanity checks).
+    """
+
+    name: str
+    flops: float = 0.0
+    traffic: Mapping[str, float] = field(default_factory=dict)
+    random_accesses: float = 0.0
+    precision: str = "single"
+    pattern: str = "stream"
+    working_set: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("kernel name must be non-empty")
+        if self.flops < 0 or self.random_accesses < 0:
+            raise ValueError("flops and random_accesses must be non-negative")
+        if self.precision not in _PRECISIONS:
+            raise ValueError(f"precision must be one of {_PRECISIONS}")
+        if self.pattern not in _PATTERNS:
+            raise ValueError(f"pattern must be one of {_PATTERNS}")
+        traffic = {str(k): float(v) for k, v in dict(self.traffic).items()}
+        for level, volume in traffic.items():
+            if volume < 0:
+                raise ValueError(f"traffic[{level!r}] must be non-negative")
+        object.__setattr__(self, "traffic", MappingProxyType(traffic))
+        if self.working_set < 0:
+            raise ValueError("working_set must be non-negative")
+        if self.total_work == 0.0:
+            raise ValueError("kernel must perform some work")
+
+    @property
+    def dram_bytes(self) -> float:
+        """Slow-memory traffic ``Q`` (bytes)."""
+        return float(self.traffic.get(DRAM, 0.0))
+
+    @property
+    def total_bytes(self) -> float:
+        """Traffic summed over all levels (bytes)."""
+        return float(sum(self.traffic.values()))
+
+    @property
+    def total_work(self) -> float:
+        """Combined work measure used for emptiness checks."""
+        return self.flops + self.total_bytes + self.random_accesses
+
+    @property
+    def intensity(self) -> float:
+        """Operational intensity ``W / Q`` against slow memory
+        (inf for cache-resident kernels with no DRAM traffic)."""
+        q = self.dram_bytes
+        return float("inf") if q == 0.0 else self.flops / q
+
+    def scaled(self, factor: float) -> "KernelSpec":
+        """The same kernel with all work multiplied by ``factor``
+        (used by the auto-calibrating runners to hit a target
+        duration); the working set is unchanged."""
+        if not factor > 0:
+            raise ValueError("factor must be positive")
+        return KernelSpec(
+            name=self.name,
+            flops=self.flops * factor,
+            traffic={k: v * factor for k, v in self.traffic.items()},
+            random_accesses=self.random_accesses * factor,
+            precision=self.precision,
+            pattern=self.pattern,
+            working_set=self.working_set,
+        )

@@ -1,0 +1,104 @@
+"""Address-trace generators for the microbenchmark access patterns.
+
+Three patterns cover everything Section IV measures:
+
+* sequential streaming (the intensity and cache benchmarks),
+* strided streaming (prefetcher stress in the tests),
+* pointer chasing over a random single-cycle permutation (the random
+  access benchmark) -- Sattolo's algorithm guarantees one cycle through
+  every line, so a chase of ``n`` steps touches ``min(n, lines)``
+  distinct lines with no short cycles that would inflate hit rates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "stream_trace",
+    "strided_trace",
+    "chase_permutation",
+    "pointer_chase_trace",
+]
+
+
+def stream_trace(working_set: int, access_size: int, passes: int = 1) -> np.ndarray:
+    """Byte addresses of ``passes`` sequential sweeps over the set.
+
+    Accesses are ``access_size`` apart starting at 0; the last access of
+    each pass stays inside the working set.
+    """
+    if working_set <= 0 or access_size <= 0:
+        raise ValueError("working_set and access_size must be positive")
+    if passes <= 0:
+        raise ValueError("passes must be positive")
+    n = working_set // access_size
+    if n == 0:
+        raise ValueError("working_set smaller than one access")
+    single = np.arange(n, dtype=np.int64) * access_size
+    return np.tile(single, passes)
+
+
+def strided_trace(
+    working_set: int, stride: int, access_size: int, passes: int = 1
+) -> np.ndarray:
+    """Strided sweeps: accesses every ``stride`` bytes.
+
+    ``stride`` must be a multiple of ``access_size``; a stride equal to
+    the access size degenerates to :func:`stream_trace`.
+    """
+    if stride <= 0 or stride % access_size:
+        raise ValueError("stride must be a positive multiple of access_size")
+    n = working_set // stride
+    if n == 0:
+        raise ValueError("working_set smaller than one stride")
+    single = np.arange(n, dtype=np.int64) * stride
+    return np.tile(single, passes)
+
+
+def chase_permutation(
+    rng: np.random.Generator, n_lines: int
+) -> np.ndarray:
+    """A single-cycle random permutation of ``n_lines`` slots.
+
+    ``perm[i]`` is the slot visited after slot ``i``; following it from
+    any start visits every slot exactly once before returning.  This is
+    the layout a real pointer-chasing benchmark writes into memory:
+    a uniformly random cyclic ordering of the lines, linked into
+    successor pointers.
+    """
+    if n_lines < 2:
+        raise ValueError("need at least 2 lines to chase")
+    order = rng.permutation(n_lines).astype(np.int64)
+    perm = np.empty(n_lines, dtype=np.int64)
+    # `order` is a cyclic visiting sequence; link each slot to the next.
+    perm[order[:-1]] = order[1:]
+    perm[order[-1]] = order[0]
+    return perm
+
+
+def pointer_chase_trace(
+    rng: np.random.Generator,
+    working_set: int,
+    line_size: int,
+    n_accesses: int,
+    start: int = 0,
+) -> np.ndarray:
+    """Byte addresses of ``n_accesses`` dependent chase steps.
+
+    The working set is divided into lines, linked into one random cycle,
+    and followed for ``n_accesses`` hops; each hop's address is the
+    start of its line (the dependent load).
+    """
+    if line_size <= 0 or working_set < 2 * line_size:
+        raise ValueError("working_set must hold at least 2 lines")
+    if n_accesses <= 0:
+        raise ValueError("n_accesses must be positive")
+    n_lines = working_set // line_size
+    perm = chase_permutation(rng, n_lines)
+    addrs = np.empty(n_accesses, dtype=np.int64)
+    slot = start % n_lines
+    for k in range(n_accesses):
+        addrs[k] = slot * line_size
+        slot = perm[slot]
+    return addrs

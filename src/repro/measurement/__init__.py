@@ -1,0 +1,26 @@
+"""Simulated measurement rig: PowerMon 2, PCIe interposer, rails."""
+
+from .energy import MeasuredRun, MeasurementRig, mean_power_energy, trapezoid_energy
+from .interposer import InterposerReading, PCIeInterposer
+from .powermon import ChannelReading, Measurement, PowerMon
+from .rails import PCIE_SLOT_LIMIT, RailTopology, topology_for
+from .session import SessionMeasurement, Window, detect_windows, measure_session
+
+__all__ = [
+    "MeasuredRun",
+    "MeasurementRig",
+    "mean_power_energy",
+    "trapezoid_energy",
+    "InterposerReading",
+    "PCIeInterposer",
+    "ChannelReading",
+    "Measurement",
+    "PowerMon",
+    "PCIE_SLOT_LIMIT",
+    "RailTopology",
+    "topology_for",
+    "SessionMeasurement",
+    "Window",
+    "detect_windows",
+    "measure_session",
+]

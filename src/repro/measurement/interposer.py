@@ -1,0 +1,59 @@
+"""The custom PCIe interposer (Fig. 3).
+
+For PCIe devices the motherboard slot is a power source PowerMon
+cannot intercept, so the paper built an interposer that sits between
+the slot and the card and exposes the slot rail for measurement.  The
+twin validates the slot's 75 W budget and returns the slot trace,
+which joins the auxiliary-connector channels on the PowerMon.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..machine.power import PowerTrace
+from .rails import PCIE_SLOT_LIMIT
+
+__all__ = ["InterposerReading", "PCIeInterposer"]
+
+
+@dataclass(frozen=True)
+class InterposerReading:
+    """Slot-rail trace plus budget diagnostics."""
+
+    trace: PowerTrace
+    slot_limit: float
+
+    @property
+    def peak_power(self) -> float:
+        """Highest instantaneous slot draw observed, W."""
+        return self.trace.max_power()
+
+    @property
+    def within_budget(self) -> bool:
+        """Whether the card respected the slot's power budget."""
+        return self.peak_power <= self.slot_limit * (1.0 + 1e-9)
+
+
+class PCIeInterposer:
+    """Measures the slot rail of a PCIe device."""
+
+    def __init__(self, slot_limit: float = PCIE_SLOT_LIMIT) -> None:
+        if not slot_limit > 0:
+            raise ValueError("slot_limit must be positive")
+        self.slot_limit = slot_limit
+
+    def read(self, slot_trace: PowerTrace, *, strict: bool = False) -> InterposerReading:
+        """Capture the slot rail.
+
+        With ``strict=True`` an over-budget draw raises -- useful in
+        tests; by default it is only flagged, as a real interposer
+        would simply record it.
+        """
+        reading = InterposerReading(trace=slot_trace, slot_limit=self.slot_limit)
+        if strict and not reading.within_budget:
+            raise ValueError(
+                f"slot draw {reading.peak_power:.1f} W exceeds "
+                f"{self.slot_limit:.0f} W budget"
+            )
+        return reading

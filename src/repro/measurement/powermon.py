@@ -1,0 +1,161 @@
+"""A software twin of PowerMon 2 (Bedard et al., 2010).
+
+The physical device sits between a platform and its DC source, samples
+voltage and current per channel at 1024 Hz (up to 8 channels, 3072 Hz
+aggregate), and reports time-stamped instantaneous power.  The paper
+computes average power as the mean of those samples and energy as
+average power times execution time.
+
+The twin reproduces that estimator end to end: uniform sampling of the
+ground-truth :class:`~repro.machine.power.PowerTrace`, ADC quantisation
+per channel, per-channel averaging, and multi-source summation for
+platforms that draw from several rails.  Its error relative to the
+exact trace integral is itself an object of study (an ablation bench
+sweeps the sampling rate).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..machine.power import PowerTrace
+
+__all__ = ["ChannelReading", "Measurement", "PowerMon"]
+
+
+@dataclass(frozen=True)
+class ChannelReading:
+    """Samples captured on one PowerMon channel."""
+
+    rail: str
+    times: np.ndarray  #: sample timestamps, seconds.
+    power: np.ndarray  #: instantaneous power per sample, Watts.
+
+    def __post_init__(self) -> None:
+        if len(self.times) != len(self.power):
+            raise ValueError("times and power must have equal lengths")
+        if len(self.times) == 0:
+            raise ValueError("a channel reading needs at least one sample")
+
+    @property
+    def average_power(self) -> float:
+        """Mean of instantaneous samples (the paper's estimator), W."""
+        return float(np.mean(self.power))
+
+    @property
+    def n_samples(self) -> int:
+        return len(self.times)
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """One complete measured run: all channels plus derived values."""
+
+    channels: tuple[ChannelReading, ...]
+    duration: float  #: wall time of the run, seconds.
+
+    def __post_init__(self) -> None:
+        if not self.channels:
+            raise ValueError("a measurement needs at least one channel")
+        if not self.duration > 0:
+            raise ValueError("duration must be positive")
+
+    @property
+    def average_power(self) -> float:
+        """Total average power: per-rail averages summed (Section IV-h)."""
+        return float(sum(ch.average_power for ch in self.channels))
+
+    @property
+    def energy(self) -> float:
+        """The paper's energy estimator: average power x wall time, J."""
+        return self.average_power * self.duration
+
+    def channel(self, rail: str) -> ChannelReading:
+        """Reading for one named rail."""
+        for ch in self.channels:
+            if ch.rail == rail:
+                return ch
+        raise KeyError(
+            f"no channel for rail {rail!r}; have {[c.rail for c in self.channels]}"
+        )
+
+
+class PowerMon:
+    """The sampling instrument.
+
+    Parameters
+    ----------
+    sample_rate:
+        Per-channel rate in Hz (1024 for the real device).
+    max_channels:
+        Channel count limit (8).
+    aggregate_limit:
+        Total samples/s across channels (3072); when exceeded, the
+        per-channel rate is reduced proportionally, as on the device.
+    resolution:
+        ADC quantisation step in Watts (0 disables).  The real device
+        digitises V and I; a power-domain step is the aggregate effect.
+    """
+
+    def __init__(
+        self,
+        sample_rate: float = 1024.0,
+        max_channels: int = 8,
+        aggregate_limit: float = 3072.0,
+        resolution: float = 0.01,
+    ) -> None:
+        if not sample_rate > 0:
+            raise ValueError("sample_rate must be positive")
+        if max_channels < 1:
+            raise ValueError("max_channels must be >= 1")
+        if not aggregate_limit > 0:
+            raise ValueError("aggregate_limit must be positive")
+        if resolution < 0:
+            raise ValueError("resolution must be non-negative")
+        self.sample_rate = sample_rate
+        self.max_channels = max_channels
+        self.aggregate_limit = aggregate_limit
+        self.resolution = resolution
+
+    def effective_rate(self, n_channels: int) -> float:
+        """Per-channel rate after the aggregate-bandwidth limit."""
+        if n_channels < 1:
+            raise ValueError("n_channels must be >= 1")
+        if n_channels > self.max_channels:
+            raise ValueError(
+                f"PowerMon supports {self.max_channels} channels, got {n_channels}"
+            )
+        return min(self.sample_rate, self.aggregate_limit / n_channels)
+
+    def _quantise(self, power: np.ndarray) -> np.ndarray:
+        if self.resolution == 0.0:
+            return power
+        return np.round(power / self.resolution) * self.resolution
+
+    def measure(self, rails: dict[str, PowerTrace]) -> Measurement:
+        """Sample one run across its rails.
+
+        All rail traces must cover the same duration (they describe one
+        physical run).  Sampling is uniform with a half-period offset so
+        a one-sample capture reads mid-run.
+        """
+        if not rails:
+            raise ValueError("need at least one rail trace")
+        durations = {name: trace.duration for name, trace in rails.items()}
+        duration = max(durations.values())
+        if max(durations.values()) - min(durations.values()) > 1e-9 * duration:
+            raise ValueError(f"rail traces disagree on duration: {durations}")
+        rate = self.effective_rate(len(rails))
+        n = max(1, int(np.floor(duration * rate)))
+        # Runs shorter than one sampling period still yield one reading,
+        # taken mid-run (the device latches at least one sample).
+        period = duration / n if duration * rate < 1.0 else 1.0 / rate
+        channels = []
+        for name, trace in rails.items():
+            offset = float(trace.edges[0])
+            times = offset + (np.arange(n) + 0.5) * period
+            power = self._quantise(trace.sample(times))
+            channels.append(ChannelReading(rail=name, times=times, power=power))
+        return Measurement(channels=tuple(channels), duration=duration)

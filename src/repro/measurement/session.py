@@ -1,0 +1,155 @@
+"""Session-level measurement: separating runs from idle in a trace.
+
+A real campaign is one long recording: the rig samples continuously
+while the host launches benchmark after benchmark with idle gaps in
+between.  Extracting per-run power/energy then requires *window
+detection* on the sampled signal -- finding where the platform left
+idle and returned to it.  This module implements that step:
+
+* :func:`detect_windows` -- threshold-based activity detection with
+  gap merging and minimum-width filtering, on one channel's samples;
+* :class:`SessionMeasurement` -- the full pipeline: sample a session
+  trace, detect windows, and report per-window wall time, average
+  power and energy (idle-corrected timestamps included).
+
+The simulator's :meth:`~repro.machine.engine.Engine.run_session`
+produces matching ground truth, so the tests can quantify window-
+detection accuracy the way a rig operator would sanity-check theirs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..machine.power import PowerTrace
+from .powermon import PowerMon
+
+__all__ = ["Window", "detect_windows", "SessionMeasurement", "measure_session"]
+
+
+@dataclass(frozen=True)
+class Window:
+    """One detected activity window."""
+
+    start: float  #: seconds, session timeline.
+    end: float
+
+    def __post_init__(self) -> None:
+        if not self.end > self.start:
+            raise ValueError("window must have positive width")
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def overlap(self, other: "Window") -> float:
+        """Length of the overlap with another window (0 if disjoint)."""
+        return max(0.0, min(self.end, other.end) - max(self.start, other.start))
+
+
+def detect_windows(
+    times: np.ndarray,
+    power: np.ndarray,
+    *,
+    threshold: float | None = None,
+    idle_quantile: float = 0.10,
+    rise_fraction: float = 0.30,
+    min_duration: float = 0.01,
+    merge_gap: float = 0.02,
+) -> list[Window]:
+    """Find activity windows in a sampled power signal.
+
+    The default threshold sits ``rise_fraction`` of the way from the
+    idle floor (the ``idle_quantile`` of all samples) to the observed
+    maximum; pass ``threshold`` to override.  Windows closer together
+    than ``merge_gap`` seconds are merged (governor oscillation must
+    not split a run) and windows shorter than ``min_duration`` are
+    dropped (sampling glitches).
+    """
+    times = np.asarray(times, dtype=float)
+    power = np.asarray(power, dtype=float)
+    if times.shape != power.shape or times.ndim != 1 or len(times) == 0:
+        raise ValueError("times and power must be equal-length 1-D arrays")
+    if threshold is None:
+        floor = float(np.quantile(power, idle_quantile))
+        peak = float(np.max(power))
+        if peak <= floor:
+            return []
+        threshold = floor + rise_fraction * (peak - floor)
+
+    active = power > threshold
+    if not np.any(active):
+        return []
+
+    # Edge detection on the boolean signal.
+    padded = np.concatenate([[False], active, [False]])
+    rises = np.nonzero(padded[1:] & ~padded[:-1])[0]
+    falls = np.nonzero(~padded[1:] & padded[:-1])[0]
+    windows = [
+        Window(start=float(times[r]), end=float(times[f - 1]))
+        for r, f in zip(rises, falls)
+        if f - 1 > r
+    ]
+
+    # Merge windows separated by less than merge_gap.
+    merged: list[Window] = []
+    for w in windows:
+        if merged and w.start - merged[-1].end <= merge_gap:
+            merged[-1] = Window(start=merged[-1].start, end=w.end)
+        else:
+            merged.append(w)
+    return [w for w in merged if w.duration >= min_duration]
+
+
+@dataclass(frozen=True)
+class WindowReading:
+    """Measured quantities of one detected window."""
+
+    window: Window
+    avg_power: float  #: W, mean of in-window samples.
+    energy: float  #: J, avg_power x duration (the paper's estimator).
+
+
+@dataclass(frozen=True)
+class SessionMeasurement:
+    """Windows detected and measured over one session recording."""
+
+    windows: tuple[WindowReading, ...]
+    idle_power: float  #: estimated idle floor, W.
+    total_duration: float
+
+    @property
+    def n_runs(self) -> int:
+        return len(self.windows)
+
+
+def measure_session(
+    trace: PowerTrace,
+    *,
+    powermon: PowerMon | None = None,
+    **detect_kwargs,
+) -> SessionMeasurement:
+    """Sample a session trace and extract per-run measurements.
+
+    Uses a single measurement channel (sessions are recorded on the
+    summed rail for window detection; per-rail splits come later).
+    """
+    mon = powermon or PowerMon()
+    measurement = mon.measure({"session": trace})
+    channel = measurement.channel("session")
+    windows = detect_windows(channel.times, channel.power, **detect_kwargs)
+    readings = []
+    for w in windows:
+        mask = (channel.times >= w.start) & (channel.times <= w.end)
+        avg = float(np.mean(channel.power[mask]))
+        readings.append(
+            WindowReading(window=w, avg_power=avg, energy=avg * w.duration)
+        )
+    idle = float(np.quantile(channel.power, 0.10))
+    return SessionMeasurement(
+        windows=tuple(readings),
+        idle_power=idle,
+        total_duration=trace.duration,
+    )

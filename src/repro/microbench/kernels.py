@@ -1,0 +1,141 @@
+"""Builders for the paper's microbenchmark kernels (Section IV).
+
+Each builder returns a :class:`~repro.machine.kernel.KernelSpec`
+describing one inner-loop configuration; the runner then scales it to a
+target duration and executes it on the simulated platform.  The
+builders mirror the tuning intent of the hand-written originals:
+
+* the **intensity kernel** performs a chosen number of flops per byte
+  streamed from slow memory (unrolled, prefetch-directed -- i.e. the
+  traffic is exactly the useful data);
+* the **cache kernel** streams a working set pinned inside one cache
+  level;
+* the **chase kernel** performs dependent random accesses;
+* the **peak kernels** isolate pure flops and pure streaming.
+"""
+
+from __future__ import annotations
+
+from ..machine.config import PlatformConfig
+from ..machine.kernel import DRAM, KernelSpec
+from ..machine.memory import serving_level
+
+__all__ = [
+    "intensity_kernel",
+    "cache_kernel",
+    "chase_kernel",
+    "peak_flops_kernel",
+    "stream_kernel",
+]
+
+#: Default traffic volume builders start from before runner calibration.
+_BASE_BYTES = 1_000_000.0
+_BASE_ACCESSES = 100_000.0
+_BASE_FLOPS = 1_000_000.0
+
+
+def intensity_kernel(
+    config: PlatformConfig,
+    intensity: float,
+    *,
+    precision: str = "single",
+    base_bytes: float = _BASE_BYTES,
+) -> KernelSpec:
+    """The intensity microbenchmark at ``intensity`` flop/B.
+
+    Streams a DRAM-resident working set performing ``intensity`` flops
+    per byte loaded.  The working set is sized beyond every cache so
+    the traffic is genuinely slow-memory traffic.
+    """
+    if not intensity > 0:
+        raise ValueError(f"intensity must be positive, got {intensity!r}")
+    ws = config.dram_resident_working_set
+    return KernelSpec(
+        name=f"intensity[I={intensity:g},{precision}]",
+        flops=intensity * base_bytes,
+        traffic={DRAM: base_bytes},
+        precision=precision,
+        pattern="stream",
+        working_set=ws,
+    )
+
+
+def cache_kernel(
+    config: PlatformConfig,
+    level: str,
+    *,
+    fill_fraction: float = 0.5,
+    base_bytes: float = _BASE_BYTES,
+) -> KernelSpec:
+    """A streaming kernel resident in the named cache level.
+
+    The working set fills ``fill_fraction`` of the level's capacity --
+    comfortably inside it, comfortably beyond the next level up.
+    Raises for platforms that do not model the level or its capacity.
+    """
+    if not 0 < fill_fraction <= 1:
+        raise ValueError("fill_fraction must be in (0, 1]")
+    cache = config.truth.cache_level(level)
+    if cache.capacity is None:
+        raise ValueError(f"{config.name}: cache level {level!r} has no capacity")
+    ws = int(cache.capacity * fill_fraction)
+    resident = serving_level(config, ws)
+    if resident != level:
+        raise ValueError(
+            f"{config.name}: a {ws}-byte working set is served by "
+            f"{resident!r}, not {level!r}; adjust fill_fraction"
+        )
+    return KernelSpec(
+        name=f"cache[{level}]",
+        traffic={level: base_bytes},
+        pattern="stream",
+        working_set=ws,
+    )
+
+
+def chase_kernel(
+    config: PlatformConfig,
+    *,
+    base_accesses: float = _BASE_ACCESSES,
+) -> KernelSpec:
+    """The pointer-chasing random-access benchmark over a DRAM-resident
+    working set: every access is a dependent cache-line fill."""
+    if config.truth.random is None:
+        raise ValueError(f"{config.name} has no random-access parameters")
+    return KernelSpec(
+        name="pointer_chase",
+        random_accesses=base_accesses,
+        pattern="random",
+        working_set=config.dram_resident_working_set,
+    )
+
+
+def peak_flops_kernel(
+    config: PlatformConfig,
+    *,
+    precision: str = "single",
+    base_flops: float = _BASE_FLOPS,
+) -> KernelSpec:
+    """Pure register-resident flops: the sustainable-peak benchmark."""
+    del config  # uniform across platforms; kept for interface symmetry
+    return KernelSpec(
+        name=f"peak_flops[{precision}]",
+        flops=base_flops,
+        precision=precision,
+        pattern="stream",
+        working_set=0,
+    )
+
+
+def stream_kernel(
+    config: PlatformConfig,
+    *,
+    base_bytes: float = _BASE_BYTES,
+) -> KernelSpec:
+    """Pure streaming from slow memory: the bandwidth benchmark."""
+    return KernelSpec(
+        name="stream",
+        traffic={DRAM: base_bytes},
+        pattern="stream",
+        working_set=config.dram_resident_working_set,
+    )

@@ -1,0 +1,48 @@
+"""Sustained-peak microbenchmarks.
+
+Two degenerate points of the intensity sweep deserve dedicated runs,
+because Table I reports them as the "sustained peak" values:
+
+* pure flops (register-resident, unrolled) -> sustained flop/s;
+* pure streaming -> sustained bandwidth.
+
+Both also run in double precision where supported.
+"""
+
+from __future__ import annotations
+
+from .kernels import peak_flops_kernel, stream_kernel
+from .runner import BenchmarkRunner, Observation
+
+__all__ = ["peak_flops", "peak_stream", "sustained_flops", "sustained_bandwidth"]
+
+
+def peak_flops(
+    runner: BenchmarkRunner,
+    *,
+    precision: str = "single",
+    replicates: int = 3,
+) -> list[Observation]:
+    """Run the sustainable-peak flops benchmark."""
+    kernel = peak_flops_kernel(runner.config, precision=precision)
+    return runner.execute_replicates(kernel, f"peak_flops:{precision}", replicates)
+
+
+def peak_stream(runner: BenchmarkRunner, *, replicates: int = 3) -> list[Observation]:
+    """Run the streaming-bandwidth benchmark."""
+    kernel = stream_kernel(runner.config)
+    return runner.execute_replicates(kernel, "stream", replicates)
+
+
+def sustained_flops(observations: list[Observation]) -> float:
+    """Best observed flop/s across replicates (the reported value)."""
+    if not observations:
+        raise ValueError("no observations")
+    return max(obs.performance for obs in observations)
+
+
+def sustained_bandwidth(observations: list[Observation]) -> float:
+    """Best observed streaming B/s across replicates."""
+    if not observations:
+        raise ValueError("no observations")
+    return max(obs.bandwidth for obs in observations)

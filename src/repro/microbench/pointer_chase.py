@@ -1,0 +1,91 @@
+"""The random-access (pointer-chasing) microbenchmark (Section IV-f).
+
+Dependent loads through a random permutation defeat the prefetchers
+and the memory interface width, so each access costs a full cache-line
+fill: the measured quantity is sustainable *accesses* per unit time and
+the inclusive energy per access, ``eps_rand``.
+
+Besides the measured sweep, :func:`dram_miss_fraction` replays an
+actual chase address trace through the trace-driven cache simulator to
+verify the premise -- that a DRAM-sized chase misses every cache level
+almost always -- which is what justifies charging each access at line-
+fill cost.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..machine.cache import hierarchy_from_level_params
+from ..machine.config import PlatformConfig
+from ..machine.trace import pointer_chase_trace
+from .kernels import chase_kernel
+from .runner import BenchmarkRunner, Observation
+
+__all__ = ["chase_sweep", "dram_miss_fraction"]
+
+
+def chase_sweep(
+    runner: BenchmarkRunner,
+    *,
+    replicates: int = 3,
+) -> list[Observation]:
+    """Run the pointer-chase benchmark ``replicates`` times."""
+    kernel = chase_kernel(runner.config)
+    return runner.execute_replicates(kernel, "pointer_chase", replicates)
+
+
+def dram_miss_fraction(
+    config: PlatformConfig,
+    *,
+    n_accesses: int = 20_000,
+    working_set: int | None = None,
+    seed: int = 0,
+    max_ws_lines: int = 8192,
+) -> float:
+    """Fraction of chase accesses served by DRAM on this platform's
+    cache hierarchy (trace-driven simulation, warm caches).
+
+    For working sets far beyond the last-level cache this approaches 1;
+    platforms without modelled cache capacities trivially return 1.0
+    (nothing can hold the lines).
+
+    To keep the trace-driven simulation fast, the hierarchy and working
+    set are shrunk *proportionally* (same capacity ratios, same line
+    size) until the set holds at most ``max_ws_lines`` lines -- miss
+    behaviour depends only on the ratios.  The measured pass must wrap
+    the full chase cycle, so ``n_accesses`` is raised to at least two
+    cycles if needed.
+    """
+    from dataclasses import replace
+
+    line = config.line_size
+    largest = config.largest_cache_capacity
+    if largest is None:
+        return 1.0
+    ws = working_set if working_set is not None else config.dram_resident_working_set
+    shrink = max(1, ws // (max_ws_lines * line))
+    min_capacity = 8 * line  # keep at least one 8-way set per level
+    caches = [
+        replace(c, capacity=max(min_capacity, (c.capacity // shrink) // line * line))
+        for c in config.truth.caches
+        if c.capacity is not None
+    ]
+    # Proportional shrinking can collapse distinct levels onto the
+    # floor; drop duplicates from the inside out to keep ordering valid.
+    kept = []
+    for c in caches:
+        if not kept or c.capacity > kept[-1].capacity:
+            kept.append(c)
+    hierarchy = hierarchy_from_level_params(kept, line)
+    if hierarchy is None:
+        return 1.0
+    ws_scaled = max(2 * line, ws // shrink // line * line)
+    n_lines = ws_scaled // line
+    hops = max(n_accesses, 2 * n_lines)
+    rng = np.random.default_rng(seed)
+    addrs = pointer_chase_trace(rng, ws_scaled, line, n_lines + hops)
+    # One full cycle warms the caches; the measured pass follows on.
+    hierarchy.warm(addrs[:n_lines])
+    stats = hierarchy.run_trace(addrs[n_lines:])
+    return stats.fraction_from("dram")

@@ -1,0 +1,152 @@
+"""Benchmark execution: calibrate, run, measure, record.
+
+The runner owns the engine + measurement rig for one platform and
+produces :class:`Observation` records -- the tidy unit every analysis
+downstream consumes.  Like the real microbenchmarks it *calibrates*
+each kernel to a target wall time (long enough for the 1024 Hz sampler
+to see many samples, short enough to keep campaigns fast) using a
+noise-free dry run, then executes the scaled kernel for real.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..machine.config import PlatformConfig
+from ..machine.engine import Engine
+from ..machine.kernel import KernelSpec
+from ..measurement.energy import MeasurementRig
+from ..measurement.powermon import PowerMon
+
+__all__ = ["Observation", "BenchmarkRunner"]
+
+
+@dataclass(frozen=True)
+class Observation:
+    """One measured benchmark run."""
+
+    platform: str
+    benchmark: str  #: e.g. "intensity", "cache:L1", "pointer_chase".
+    kernel: KernelSpec
+    wall_time: float  #: measured, seconds.
+    energy: float  #: measured (mean-power estimator), Joules.
+    avg_power: float  #: measured, Watts.
+    throttled: bool  #: ground truth: did the governor intervene?
+    replicate: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.wall_time > 0 or not self.energy > 0:
+            raise ValueError("wall_time and energy must be positive")
+
+    # Convenience accessors used throughout the experiments. ---------------
+
+    @property
+    def flops(self) -> float:
+        return self.kernel.flops
+
+    @property
+    def dram_bytes(self) -> float:
+        return self.kernel.dram_bytes
+
+    @property
+    def intensity(self) -> float:
+        return self.kernel.intensity
+
+    @property
+    def performance(self) -> float:
+        """Measured flop/s (0 for flop-free kernels)."""
+        return self.kernel.flops / self.wall_time
+
+    @property
+    def bandwidth(self) -> float:
+        """Measured total traffic rate, B/s."""
+        return self.kernel.total_bytes / self.wall_time
+
+    @property
+    def access_rate(self) -> float:
+        """Measured random accesses/s."""
+        return self.kernel.random_accesses / self.wall_time
+
+    @property
+    def flops_per_joule(self) -> float:
+        return self.kernel.flops / self.energy
+
+    @property
+    def energy_per_byte(self) -> float:
+        """Measured J per byte of traffic (total-traffic basis)."""
+        total = self.kernel.total_bytes
+        if total == 0:
+            raise ValueError("kernel moved no bytes")
+        return self.energy / total
+
+
+class BenchmarkRunner:
+    """Runs kernels on one platform and measures them with the rig.
+
+    Parameters
+    ----------
+    config:
+        Platform to benchmark.
+    seed:
+        Seed for all stochastic effects; ``None`` runs noise-free.
+    target_duration:
+        Wall time each kernel is calibrated to (seconds).
+    powermon:
+        Custom instrument (ablations swap in different sampling rates).
+    """
+
+    def __init__(
+        self,
+        config: PlatformConfig,
+        *,
+        seed: int | None = 0,
+        target_duration: float = 0.25,
+        powermon: PowerMon | None = None,
+    ) -> None:
+        if not target_duration > 0:
+            raise ValueError("target_duration must be positive")
+        self.config = config
+        self.target_duration = target_duration
+        rng = None if seed is None else np.random.default_rng(seed)
+        self.engine = Engine(config, rng)
+        self._calibration_engine = Engine(config, rng=None)
+        self.rig = MeasurementRig(config, powermon)
+
+    def calibrate(self, kernel: KernelSpec) -> KernelSpec:
+        """Scale a kernel so its noise-free run hits the target time."""
+        dry = self._calibration_engine.run(kernel)
+        factor = self.target_duration / dry.wall_time
+        if math.isclose(factor, 1.0, rel_tol=1e-6):
+            return kernel
+        return kernel.scaled(factor)
+
+    def execute(
+        self, kernel: KernelSpec, benchmark: str, *, replicate: int = 0
+    ) -> Observation:
+        """Calibrate, run and measure one kernel."""
+        calibrated = self.calibrate(kernel)
+        result = self.engine.run(calibrated)
+        measured = self.rig.measure(result.trace)
+        return Observation(
+            platform=self.config.name,
+            benchmark=benchmark,
+            kernel=calibrated,
+            wall_time=measured.wall_time,
+            energy=measured.energy,
+            avg_power=measured.avg_power,
+            throttled=result.throttled,
+            replicate=replicate,
+        )
+
+    def execute_replicates(
+        self, kernel: KernelSpec, benchmark: str, replicates: int
+    ) -> list[Observation]:
+        """Run the same kernel several times (distinct noise draws)."""
+        if replicates < 1:
+            raise ValueError("replicates must be >= 1")
+        return [
+            self.execute(kernel, benchmark, replicate=r) for r in range(replicates)
+        ]

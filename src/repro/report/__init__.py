@@ -1,0 +1,32 @@
+"""Plain-text reporting: tables, series rendering, paper-vs-measured."""
+
+from .compare import (
+    Claim,
+    claim_close,
+    claim_true,
+    fraction_passing,
+    rel_deviation,
+    render_claims,
+)
+from .export import export_all, rows_to_csv, write_csv
+from .series import log2_label, series_table, sparkline
+from .tables import Table, fmt_num, fmt_pct, fmt_si
+
+__all__ = [
+    "export_all",
+    "rows_to_csv",
+    "write_csv",
+    "Claim",
+    "claim_close",
+    "claim_true",
+    "fraction_passing",
+    "rel_deviation",
+    "render_claims",
+    "log2_label",
+    "series_table",
+    "sparkline",
+    "Table",
+    "fmt_num",
+    "fmt_pct",
+    "fmt_si",
+]

@@ -1,0 +1,156 @@
+"""Log-log ASCII charts for terminal figure regeneration.
+
+The paper's figures are log-log curves; in a terminal reproduction the
+closest native artifact is a character-grid chart.  ``AsciiPlot``
+renders multiple series on shared log axes with per-series glyphs, a
+legend and tick labels -- enough to see rooflines turn, caps flatten
+and crossovers cross without leaving the shell.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["AsciiPlot"]
+
+_GLYPHS = "*o+x#@%&"
+
+
+@dataclass
+class _Series:
+    label: str
+    x: np.ndarray
+    y: np.ndarray
+    glyph: str
+    scatter: bool = False
+
+
+@dataclass
+class AsciiPlot:
+    """A log-log scatter/line chart on a character canvas."""
+
+    width: int = 64
+    height: int = 20
+    title: str = ""
+    x_label: str = "intensity (flop:B)"
+    y_label: str = ""
+    series: list[_Series] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.width < 16 or self.height < 6:
+            raise ValueError("canvas must be at least 16 x 6")
+
+    def add_series(
+        self,
+        label: str,
+        x: Sequence[float],
+        y: Sequence[float],
+        *,
+        scatter: bool = False,
+    ) -> None:
+        """Add one series; points with non-positive coordinates are
+        rejected (log axes).  ``scatter=True`` plots only the given
+        points (no log-space interpolation between them)."""
+        xa = np.asarray(x, dtype=float)
+        ya = np.asarray(y, dtype=float)
+        if xa.shape != ya.shape or xa.ndim != 1 or len(xa) == 0:
+            raise ValueError("x and y must be equal-length 1-D sequences")
+        if np.any(xa <= 0) or np.any(ya <= 0):
+            raise ValueError("log-log plot requires positive coordinates")
+        glyph = _GLYPHS[len(self.series) % len(_GLYPHS)]
+        self.series.append(
+            _Series(label=label, x=xa, y=ya, glyph=glyph, scatter=scatter)
+        )
+
+    def _bounds(self) -> tuple[float, float, float, float]:
+        xs = np.concatenate([s.x for s in self.series])
+        ys = np.concatenate([s.y for s in self.series])
+        return (
+            float(np.min(xs)),
+            float(np.max(xs)),
+            float(np.min(ys)),
+            float(np.max(ys)),
+        )
+
+    @staticmethod
+    def _fmt_tick(value: float) -> str:
+        if value == 0:
+            return "0"
+        exponent = math.floor(math.log10(abs(value)))
+        if -2 <= exponent <= 3:
+            return f"{value:.3g}"
+        return f"{value:.1e}"
+
+    def render(self) -> str:
+        """Render the chart to a string."""
+        if not self.series:
+            raise ValueError("nothing to plot")
+        x_lo, x_hi, y_lo, y_hi = self._bounds()
+        # Pad degenerate ranges so single-valued series still render.
+        if x_hi == x_lo:
+            x_lo, x_hi = x_lo / 2, x_hi * 2
+        if y_hi == y_lo:
+            y_lo, y_hi = y_lo / 2, y_hi * 2
+        lx_lo, lx_hi = math.log10(x_lo), math.log10(x_hi)
+        ly_lo, ly_hi = math.log10(y_lo), math.log10(y_hi)
+
+        canvas = [[" "] * self.width for _ in range(self.height)]
+
+        def place(xv: float, yv: float, glyph: str) -> None:
+            cx = (math.log10(xv) - lx_lo) / (lx_hi - lx_lo)
+            cy = (math.log10(yv) - ly_lo) / (ly_hi - ly_lo)
+            col = min(self.width - 1, max(0, round(cx * (self.width - 1))))
+            row = min(
+                self.height - 1,
+                max(0, round((1.0 - cy) * (self.height - 1))),
+            )
+            canvas[row][col] = glyph
+
+        for s in self.series:
+            if s.scatter:
+                for xv, yv in zip(s.x, s.y):
+                    place(float(xv), float(yv), s.glyph)
+                continue
+            # Interpolate in log space so curves read as lines.
+            log_x = np.log10(s.x)
+            log_y = np.log10(s.y)
+            order = np.argsort(log_x)
+            log_x, log_y = log_x[order], log_y[order]
+            dense = np.linspace(log_x[0], log_x[-1], self.width * 2)
+            dense_y = np.interp(dense, log_x, log_y)
+            for xv, yv in zip(10 ** dense, 10 ** dense_y):
+                place(xv, yv, s.glyph)
+
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        y_top = self._fmt_tick(y_hi)
+        y_bot = self._fmt_tick(y_lo)
+        margin = max(len(y_top), len(y_bot)) + 1
+        for r, row in enumerate(canvas):
+            if r == 0:
+                prefix = y_top.rjust(margin - 1) + "|"
+            elif r == self.height - 1:
+                prefix = y_bot.rjust(margin - 1) + "|"
+            else:
+                prefix = " " * (margin - 1) + "|"
+            lines.append(prefix + "".join(row))
+        axis = " " * (margin - 1) + "+" + "-" * self.width
+        lines.append(axis)
+        x_lo_s, x_hi_s = self._fmt_tick(x_lo), self._fmt_tick(x_hi)
+        gap = self.width - len(x_lo_s) - len(x_hi_s)
+        lines.append(
+            " " * margin + x_lo_s + " " * max(1, gap) + x_hi_s
+        )
+        footer = "  ".join(f"{s.glyph} {s.label}" for s in self.series)
+        lines.append(f"[{self.x_label}]  {footer}")
+        if self.y_label:
+            lines.append(f"[y: {self.y_label}]")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

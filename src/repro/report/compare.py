@@ -1,0 +1,88 @@
+"""Paper-vs-measured comparison records.
+
+EXPERIMENTS.md is generated from these: each :class:`Claim` pairs one
+value the paper reports with the value our reproduction produces, plus
+an explicit pass criterion.  Claims render uniformly so every
+experiment's fidelity is auditable at a glance.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from .tables import Table, fmt_num
+
+__all__ = ["Claim", "claim_close", "claim_true", "render_claims", "fraction_passing", "rel_deviation"]
+
+
+@dataclass(frozen=True)
+class Claim:
+    """One paper claim checked against the reproduction."""
+
+    name: str
+    paper: str  #: the paper's value/statement, as reported.
+    ours: str  #: what the reproduction measured.
+    ok: bool  #: whether the reproduction upholds the claim.
+    detail: str = ""  #: pass criterion or context.
+
+
+def claim_close(
+    name: str,
+    paper_value: float,
+    our_value: float,
+    *,
+    rel_tol: float = 0.25,
+    unit: str = "",
+    detail: str = "",
+) -> Claim:
+    """A claim that two numbers agree within a relative tolerance.
+
+    The default 25 % tolerance reflects the reproduction's stated goal:
+    match *shape* (who wins, by roughly what factor), not testbed-exact
+    values.
+    """
+    if paper_value == 0:
+        ok = abs(our_value) <= rel_tol
+    else:
+        ok = abs(our_value - paper_value) / abs(paper_value) <= rel_tol
+    suffix = f" {unit}" if unit else ""
+    return Claim(
+        name=name,
+        paper=f"{fmt_num(paper_value)}{suffix}",
+        ours=f"{fmt_num(our_value)}{suffix}",
+        ok=ok,
+        detail=detail or f"within {rel_tol:.0%}",
+    )
+
+
+def claim_true(name: str, paper: str, ours: str, ok: bool, detail: str = "") -> Claim:
+    """A qualitative claim with an explicit truth value."""
+    return Claim(name=name, paper=paper, ours=ours, ok=ok, detail=detail)
+
+
+def render_claims(claims: Sequence[Claim], title: str = "Claims") -> str:
+    """Render claims as a fixed-width check table."""
+    table = Table(
+        columns=["claim", "paper", "reproduction", "ok", "criterion"],
+        title=title,
+        align="lllll",
+    )
+    for c in claims:
+        table.add_row(c.name, c.paper, c.ours, "PASS" if c.ok else "DIVERGES", c.detail)
+    return table.render()
+
+
+def fraction_passing(claims: Sequence[Claim]) -> float:
+    """Share of claims upheld (1.0 when empty -- nothing to fail)."""
+    if not claims:
+        return 1.0
+    return sum(c.ok for c in claims) / len(claims)
+
+
+def rel_deviation(paper_value: float, our_value: float) -> float:
+    """Signed relative deviation of ours from the paper's value."""
+    if paper_value == 0:
+        return math.inf if our_value != 0 else 0.0
+    return (our_value - paper_value) / paper_value

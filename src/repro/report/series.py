@@ -1,0 +1,82 @@
+"""Aligned rendering of intensity-indexed series (the figures' data).
+
+The paper's figures are log-log curves over intensity.  In a terminal
+reproduction the equivalent artifact is the sampled series printed as
+aligned columns, optionally with a compact sparkline so regime changes
+are visible at a glance.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from .tables import Table, fmt_si
+
+__all__ = ["series_table", "sparkline", "log2_label"]
+
+_SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def log2_label(value: float) -> str:
+    """Label an intensity the way the figures' axes do: powers of two
+    as ``1/8 .. 256``, everything else as a short decimal."""
+    if value <= 0:
+        raise ValueError("intensity labels require positive values")
+    exponent = math.log2(value)
+    if abs(exponent - round(exponent)) < 1e-9:
+        e = round(exponent)
+        if e >= 0:
+            return str(2 ** e)
+        return f"1/{2 ** (-e)}"
+    return f"{value:.3g}"
+
+
+def sparkline(values: Sequence[float] | np.ndarray, *, log: bool = True) -> str:
+    """A one-line unicode sparkline of a series.
+
+    ``log=True`` (default) maps values logarithmically -- appropriate
+    for quantities plotted on log axes in the paper.
+    """
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("empty series")
+    if np.any(arr <= 0) and log:
+        raise ValueError("log sparkline requires positive values")
+    y = np.log(arr) if log else arr
+    lo, hi = float(np.min(y)), float(np.max(y))
+    if hi == lo:
+        return _SPARK_CHARS[0] * arr.size
+    idx = np.round((y - lo) / (hi - lo) * (len(_SPARK_CHARS) - 1)).astype(int)
+    return "".join(_SPARK_CHARS[i] for i in idx)
+
+
+def series_table(
+    intensity: Sequence[float] | np.ndarray,
+    series: Mapping[str, Sequence[float] | np.ndarray],
+    *,
+    title: str = "",
+    unit_by_name: Mapping[str, str] | None = None,
+) -> str:
+    """Render intensity-indexed series as an aligned table.
+
+    ``series`` maps column names to value arrays aligned with
+    ``intensity``; ``unit_by_name`` attaches SI units per column.
+    """
+    grid = np.asarray(intensity, dtype=float)
+    units = dict(unit_by_name or {})
+    for name, values in series.items():
+        if len(values) != len(grid):
+            raise ValueError(f"series {name!r} length mismatch")
+    table = Table(columns=["I (flop:B)", *series.keys()], title=title)
+    for k, i_val in enumerate(grid):
+        table.add_row(
+            log2_label(float(i_val)),
+            *(
+                fmt_si(float(np.asarray(values)[k]), units.get(name, ""))
+                for name, values in series.items()
+            ),
+        )
+    return table.render()

@@ -1,0 +1,107 @@
+"""Fixed-width ASCII table rendering.
+
+Every experiment renders its results as plain-text tables (the paper's
+tables and figure annotations, re-printed).  This module provides a
+small, dependency-free table builder with per-column alignment and a
+few formatting helpers tuned to the paper's unit conventions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+__all__ = ["Table", "fmt_si", "fmt_pct", "fmt_num"]
+
+
+def fmt_num(value: float | None, digits: int = 3) -> str:
+    """Format a plain number with ``digits`` significant figures."""
+    if value is None:
+        return "-"
+    if value == 0:
+        return "0"
+    if math.isinf(value):
+        return "inf"
+    return f"{value:.{digits}g}"
+
+
+def fmt_si(value: float | None, unit: str = "", digits: int = 3) -> str:
+    """Engineering-prefix formatting, e.g. ``4.02T`` or ``30.4p``."""
+    if value is None:
+        return "-"
+    if math.isinf(value):
+        return "inf" + (f" {unit}" if unit else "")
+    prefixes = [
+        (1e12, "T"), (1e9, "G"), (1e6, "M"), (1e3, "k"),
+        (1.0, ""), (1e-3, "m"), (1e-6, "u"), (1e-9, "n"), (1e-12, "p"),
+    ]
+    if value == 0:
+        return f"0{unit}"
+    mag = abs(value)
+    for scale, prefix in prefixes:
+        if mag >= scale * 0.9995:
+            return f"{value / scale:.{digits}g}{prefix}{unit}"
+    scale, prefix = prefixes[-1]
+    return f"{value / scale:.{digits}g}{prefix}{unit}"
+
+
+def fmt_pct(value: float | None, digits: int = 0) -> str:
+    """Format a ratio as a percentage (``0.83 -> "83%"``)."""
+    if value is None:
+        return "-"
+    return f"{100.0 * value:.{digits}f}%"
+
+
+@dataclass
+class Table:
+    """A fixed-width text table."""
+
+    columns: Sequence[str]
+    rows: list[list[str]] = field(default_factory=list)
+    title: str = ""
+    #: "l" or "r" per column; defaults to left for the first column and
+    #: right for the rest.
+    align: str | None = None
+
+    def add_row(self, *cells: object) -> None:
+        """Append one row; cells are stringified as-is."""
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} cells, got {len(cells)}"
+            )
+        self.rows.append([str(c) for c in cells])
+
+    def extend(self, rows: Iterable[Sequence[object]]) -> None:
+        for row in rows:
+            self.add_row(*row)
+
+    def render(self) -> str:
+        """Render to a fixed-width string with a header rule."""
+        align = self.align or ("l" + "r" * (len(self.columns) - 1))
+        if len(align) != len(self.columns):
+            raise ValueError("align spec length must match column count")
+        widths = [len(str(c)) for c in self.columns]
+        for row in self.rows:
+            for k, cell in enumerate(row):
+                widths[k] = max(widths[k], len(cell))
+
+        def fmt_row(cells: Sequence[str]) -> str:
+            parts = []
+            for k, cell in enumerate(cells):
+                if align[k] == "l":
+                    parts.append(cell.ljust(widths[k]))
+                else:
+                    parts.append(cell.rjust(widths[k]))
+            return "  ".join(parts).rstrip()
+
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(fmt_row([str(c) for c in self.columns]))
+        lines.append("  ".join("-" * w for w in widths))
+        lines.extend(fmt_row(row) for row in self.rows)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

@@ -1,0 +1,122 @@
+"""Descriptive statistics used by the analysis and reporting layers.
+
+Fig. 4's boxplots need median and quartiles of error distributions;
+Section V-C computes a correlation between constant-power fraction and
+peak energy-efficiency.  Everything here is a thin, well-specified
+wrapper over NumPy so the experiment code reads declaratively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "BoxplotStats",
+    "boxplot_stats",
+    "pearson",
+    "spearman",
+    "quantile",
+]
+
+
+@dataclass(frozen=True)
+class BoxplotStats:
+    """Five-number-style summary of one distribution."""
+
+    n: int
+    minimum: float
+    q25: float
+    median: float
+    q75: float
+    maximum: float
+    mean: float
+
+    @property
+    def iqr(self) -> float:
+        """Inter-quartile range."""
+        return self.q75 - self.q25
+
+    @property
+    def spread(self) -> float:
+        """Full range (max - min)."""
+        return self.maximum - self.minimum
+
+
+def boxplot_stats(values: Sequence[float]) -> BoxplotStats:
+    """Median/quartile summary (linear-interpolated quantiles)."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("values must be non-empty")
+    if np.any(~np.isfinite(arr)):
+        raise ValueError("values must all be finite")
+    q25, median, q75 = np.quantile(arr, [0.25, 0.5, 0.75])
+    return BoxplotStats(
+        n=int(arr.size),
+        minimum=float(np.min(arr)),
+        q25=float(q25),
+        median=float(median),
+        q75=float(q75),
+        maximum=float(np.max(arr)),
+        mean=float(np.mean(arr)),
+    )
+
+
+def quantile(values: Sequence[float], q: float) -> float:
+    """Single quantile with input validation."""
+    if not 0 <= q <= 1:
+        raise ValueError("q must be in [0, 1]")
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("values must be non-empty")
+    return float(np.quantile(arr, q))
+
+
+def pearson(x: Sequence[float], y: Sequence[float]) -> float:
+    """Pearson correlation coefficient.
+
+    Raises for length mismatch, fewer than 2 points, or degenerate
+    (zero-variance) inputs rather than returning NaN.
+    """
+    xa = np.asarray(x, dtype=float)
+    ya = np.asarray(y, dtype=float)
+    if xa.shape != ya.shape:
+        raise ValueError("x and y must have the same length")
+    if xa.size < 2:
+        raise ValueError("need at least two points")
+    xc = xa - xa.mean()
+    yc = ya - ya.mean()
+    denom = float(np.sqrt(np.sum(xc * xc) * np.sum(yc * yc)))
+    if denom == 0.0:
+        raise ValueError("zero variance input")
+    return float(np.sum(xc * yc) / denom)
+
+
+def _ranks(values: np.ndarray) -> np.ndarray:
+    """Average ranks (ties share the mean of their rank range)."""
+    order = np.argsort(values, kind="stable")
+    ranks = np.empty(len(values), dtype=float)
+    ranks[order] = np.arange(1, len(values) + 1, dtype=float)
+    # Average ties.
+    sorted_vals = values[order]
+    i = 0
+    while i < len(values):
+        j = i
+        while j + 1 < len(values) and sorted_vals[j + 1] == sorted_vals[i]:
+            j += 1
+        if j > i:
+            mean_rank = 0.5 * (i + j) + 1.0
+            ranks[order[i : j + 1]] = mean_rank
+        i = j + 1
+    return ranks
+
+
+def spearman(x: Sequence[float], y: Sequence[float]) -> float:
+    """Spearman rank correlation (Pearson on average ranks)."""
+    xa = np.asarray(x, dtype=float)
+    ya = np.asarray(y, dtype=float)
+    if xa.shape != ya.shape:
+        raise ValueError("x and y must have the same length")
+    return pearson(_ranks(xa), _ranks(ya))

@@ -1,0 +1,86 @@
+"""Two-sample Kolmogorov-Smirnov test.
+
+Fig. 4 marks platforms where the capped and uncapped models' error
+distributions differ at ``p < 0.05`` by a two-sample K-S test.  The
+paper stresses the test's distribution-free nature; we implement the
+classic statistic and the asymptotic Kolmogorov p-value (with the
+Stephens small-sample correction), and cross-check against
+``scipy.stats.ks_2samp`` in the test suite.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["KSResult", "ks_statistic", "kolmogorov_sf", "ks_2sample"]
+
+
+@dataclass(frozen=True)
+class KSResult:
+    """Outcome of a two-sample K-S test."""
+
+    statistic: float  #: D, the sup-distance between empirical CDFs.
+    pvalue: float
+    n1: int
+    n2: int
+
+    def significant(self, alpha: float = 0.05) -> bool:
+        """Whether the null (same distribution) is rejected at alpha."""
+        if not 0 < alpha < 1:
+            raise ValueError("alpha must be in (0, 1)")
+        return self.pvalue < alpha
+
+
+def ks_statistic(sample1: Sequence[float], sample2: Sequence[float]) -> float:
+    """The two-sample K-S statistic ``D = sup |F1(x) - F2(x)|``.
+
+    Computed exactly by merging both samples and tracking the CDF gap
+    at every data point.
+    """
+    x1 = np.sort(np.asarray(sample1, dtype=float))
+    x2 = np.sort(np.asarray(sample2, dtype=float))
+    n1, n2 = len(x1), len(x2)
+    if n1 == 0 or n2 == 0:
+        raise ValueError("both samples must be non-empty")
+    everything = np.concatenate([x1, x2])
+    cdf1 = np.searchsorted(x1, everything, side="right") / n1
+    cdf2 = np.searchsorted(x2, everything, side="right") / n2
+    return float(np.max(np.abs(cdf1 - cdf2)))
+
+
+def kolmogorov_sf(x: float, terms: int = 100) -> float:
+    """Survival function of the Kolmogorov distribution,
+    ``Q(x) = 2 * sum_{k>=1} (-1)^(k-1) exp(-2 k^2 x^2)``.
+
+    Returns 1 for ``x <= 0``; the series converges extremely fast for
+    the x values that matter (> 0.3).
+    """
+    if x <= 0:
+        return 1.0
+    total = 0.0
+    for k in range(1, terms + 1):
+        term = 2.0 * (-1.0) ** (k - 1) * math.exp(-2.0 * k * k * x * x)
+        total += term
+        if abs(term) < 1e-16:
+            break
+    return min(1.0, max(0.0, total))
+
+
+def ks_2sample(sample1: Sequence[float], sample2: Sequence[float]) -> KSResult:
+    """Two-sample K-S test with the asymptotic p-value.
+
+    Uses the Stephens (1970) correction
+    ``lambda = (sqrt(ne) + 0.12 + 0.11 / sqrt(ne)) * D`` with effective
+    size ``ne = n1 n2 / (n1 + n2)``, accurate for ``ne >= 4``.
+    """
+    x1 = np.asarray(sample1, dtype=float)
+    x2 = np.asarray(sample2, dtype=float)
+    d = ks_statistic(x1, x2)
+    n1, n2 = len(x1), len(x2)
+    ne = n1 * n2 / (n1 + n2)
+    lam = (math.sqrt(ne) + 0.12 + 0.11 / math.sqrt(ne)) * d
+    return KSResult(statistic=d, pvalue=kolmogorov_sf(lam), n1=n1, n2=n2)

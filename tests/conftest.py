@@ -1,0 +1,105 @@
+"""Shared fixtures.
+
+Campaign-derived fixtures are session-scoped: the full 12-platform
+campaign-and-fit pass takes a few seconds and several experiment test
+modules consume it, so it runs once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings as hypothesis_settings
+
+# Deterministic property tests: the suite is a reproduction artifact,
+# so its verdict should not depend on the run's entropy.
+hypothesis_settings.register_profile(
+    "repro",
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+    deadline=None,
+)
+hypothesis_settings.load_profile("repro")
+
+from repro.core.params import CacheLevelParams, MachineParams, RandomAccessParams
+from repro.experiments.common import CampaignSettings, run_all_fits
+from repro.machine.platforms import all_platforms, platform
+
+
+@pytest.fixture(scope="session")
+def platforms():
+    """All twelve platform configs."""
+    return all_platforms()
+
+
+@pytest.fixture(scope="session")
+def titan():
+    """GTX Titan ground-truth parameters."""
+    return platform("gtx-titan").truth
+
+
+@pytest.fixture(scope="session")
+def arndale_gpu():
+    """Arndale GPU ground-truth parameters."""
+    return platform("arndale-gpu").truth
+
+
+@pytest.fixture(scope="session")
+def xeon_phi():
+    """Xeon Phi ground-truth parameters."""
+    return platform("xeon-phi").truth
+
+
+@pytest.fixture
+def simple_machine():
+    """A hand-made machine with round numbers for closed-form checks.
+
+    peak 100 Gflop/s, 10 GB/s, B_tau = 10 flop/B; eps_flop = 10 pJ,
+    eps_mem = 100 pJ (B_eps = 10); pi_flop = 1 W, pi_mem = 1 W;
+    pi1 = 5 W; delta_pi = 1.5 W (capped: 1.5 < 2 = pi_f + pi_m).
+    """
+    return MachineParams.from_throughputs(
+        "simple",
+        flops=100e9,
+        bandwidth=10e9,
+        eps_flop=10e-12,
+        eps_mem=100e-12,
+        pi1=5.0,
+        delta_pi=1.5,
+        flops_double=50e9,
+        eps_flop_double=20e-12,
+        caches=(
+            CacheLevelParams("L1", eps_byte=10e-12, bandwidth=100e9, capacity=32 * 1024),
+            CacheLevelParams("L2", eps_byte=20e-12, bandwidth=50e9, capacity=512 * 1024),
+        ),
+        random=RandomAccessParams(eps_access=10e-9, rate=100e6),
+    )
+
+
+@pytest.fixture
+def uncapped_machine(simple_machine):
+    """The same machine without a power cap."""
+    return simple_machine.uncapped()
+
+
+@pytest.fixture
+def rng():
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def quick_settings():
+    """Reduced campaign settings for cheap integration tests."""
+    return CampaignSettings().scaled_down()
+
+
+@pytest.fixture(scope="session")
+def all_fits():
+    """Full-fidelity campaign fits for all twelve platforms (shared)."""
+    return run_all_fits(CampaignSettings())
+
+
+@pytest.fixture(scope="session")
+def titan_fit(all_fits):
+    return all_fits["gtx-titan"]

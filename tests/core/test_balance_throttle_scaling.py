@@ -1,0 +1,189 @@
+"""Unit tests for repro.core.balance, throttle and scaling."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import model
+from repro.core.balance import summarise_balance
+from repro.core.scaling import (
+    compare_power_matched,
+    ensemble,
+    power_matched_count,
+    power_matched_ensemble,
+)
+from repro.core.throttle import (
+    DEFAULT_CAP_FACTORS,
+    cap_for_power_budget,
+    performance_retention,
+    power_retention,
+    throttle_scenario,
+)
+
+
+class TestBalanceSummary:
+    def test_fields_match_params(self, simple_machine):
+        b = summarise_balance(simple_machine)
+        assert b.time_balance == simple_machine.time_balance
+        assert b.cap_lower == simple_machine.time_balance_lower
+        assert b.cap_upper == simple_machine.time_balance_upper
+        assert b.cap_binds
+
+    def test_cap_width_octaves(self, simple_machine):
+        b = summarise_balance(simple_machine)
+        # interval [5, 20] -> 2 octaves.
+        assert b.cap_width_octaves == pytest.approx(2.0)
+
+    def test_uncapped_width_zero(self, uncapped_machine):
+        assert summarise_balance(uncapped_machine).cap_width_octaves == 0.0
+
+    def test_ridge_deficit(self, simple_machine):
+        b = summarise_balance(simple_machine)
+        assert b.ridge_power_deficit == pytest.approx(2.0 / 1.5)
+
+    def test_reachable_fractions(self, simple_machine):
+        b = summarise_balance(simple_machine)
+        # dpi = 1.5 exceeds both pi_flop = pi_mem = 1: peaks reachable.
+        assert b.reachable_peak_fraction == 1.0
+        assert b.reachable_bandwidth_fraction == 1.0
+        tight = summarise_balance(simple_machine.with_cap(0.5))
+        assert tight.reachable_peak_fraction == pytest.approx(0.5)
+        assert tight.reachable_bandwidth_fraction == pytest.approx(0.5)
+
+    def test_all_platforms_cap_interval_ordered(self, platforms):
+        for cfg in platforms.values():
+            b = summarise_balance(cfg.truth)
+            assert b.cap_lower <= b.time_balance <= b.cap_upper
+
+
+class TestThrottle:
+    def test_scenario_factors(self, simple_machine):
+        grid = np.logspace(-2, 7, 20, base=2)
+        sc = throttle_scenario(simple_machine, grid)
+        assert sc.factors == DEFAULT_CAP_FACTORS
+        assert sc.curve(0.5).params.delta_pi == pytest.approx(0.75)
+
+    def test_unknown_factor_raises(self, simple_machine):
+        sc = throttle_scenario(simple_machine, [1.0, 2.0])
+        with pytest.raises(KeyError):
+            sc.curve(0.3)
+
+    def test_rejects_uncapped(self, uncapped_machine):
+        with pytest.raises(ValueError, match="uncapped"):
+            throttle_scenario(uncapped_machine, [1.0])
+
+    def test_power_reduction_sublinear(self, platforms):
+        grid = [1.0]
+        for cfg in platforms.values():
+            sc = throttle_scenario(cfg.truth, grid)
+            for factor in (0.5, 0.25, 0.125):
+                assert sc.power_reduction(factor) > factor
+
+    def test_performance_retention_bounds(self, titan):
+        r = performance_retention(titan, 0.25, 0.125)
+        assert 0.0 < r <= 1.0
+
+    def test_retention_is_one_when_cap_slack(self, simple_machine):
+        # At very low intensity the dynamic demand is just above pi_mem
+        # (1 W); a cap of 0.8 * 1.5 = 1.2 W still covers it.
+        r = performance_retention(simple_machine, 0.01, 0.8)
+        assert r == pytest.approx(1.0)
+
+    def test_power_retention_formula(self, simple_machine):
+        expected = (5.0 + 0.75) / (5.0 + 1.5)
+        assert power_retention(simple_machine, 0.5) == pytest.approx(expected)
+
+    def test_power_retention_rejects_uncapped(self, uncapped_machine):
+        with pytest.raises(ValueError):
+            power_retention(uncapped_machine, 0.5)
+
+    def test_cap_for_power_budget(self, titan):
+        bounded = cap_for_power_budget(titan, 140.0)
+        assert bounded.pi1 + bounded.delta_pi == pytest.approx(140.0)
+
+    def test_cap_for_budget_below_pi1_raises(self, titan):
+        with pytest.raises(ValueError, match="constant power"):
+            cap_for_power_budget(titan, titan.pi1)
+
+    def test_titan_section_vd_number(self, titan):
+        assert performance_retention(titan, 0.25, 0.125) == pytest.approx(
+            0.31, abs=0.01
+        )
+
+
+class TestEnsemble:
+    def test_extensive_and_intensive_quantities(self, arndale_gpu):
+        agg = ensemble(arndale_gpu, 4)
+        assert agg.peak_flops == pytest.approx(4 * arndale_gpu.peak_flops)
+        assert agg.peak_bandwidth == pytest.approx(4 * arndale_gpu.peak_bandwidth)
+        assert agg.pi1 == pytest.approx(4 * arndale_gpu.pi1)
+        assert agg.delta_pi == pytest.approx(4 * arndale_gpu.delta_pi)
+        assert agg.eps_flop == arndale_gpu.eps_flop
+        assert agg.eps_mem == arndale_gpu.eps_mem
+
+    def test_cache_and_random_scaling(self, arndale_gpu):
+        agg = ensemble(arndale_gpu, 3)
+        base_l1 = arndale_gpu.cache_level("L1")
+        assert agg.cache_level("L1").bandwidth == pytest.approx(
+            3 * base_l1.bandwidth
+        )
+        assert agg.cache_level("L1").eps_byte == base_l1.eps_byte
+        assert agg.random.rate == pytest.approx(3 * arndale_gpu.random.rate)
+
+    def test_balances_preserved(self, arndale_gpu):
+        agg = ensemble(arndale_gpu, 7)
+        assert agg.time_balance == pytest.approx(arndale_gpu.time_balance)
+        assert agg.energy_balance == pytest.approx(arndale_gpu.energy_balance)
+
+    def test_fractional_sizes_allowed(self, arndale_gpu):
+        agg = ensemble(arndale_gpu, 2.5)
+        assert agg.peak_flops == pytest.approx(2.5 * arndale_gpu.peak_flops)
+
+    def test_rejects_nonpositive(self, arndale_gpu):
+        with pytest.raises(ValueError):
+            ensemble(arndale_gpu, 0)
+
+    def test_default_name(self, arndale_gpu):
+        assert ensemble(arndale_gpu, 4).name == "4 x Arndale GPU"
+
+
+class TestPowerMatching:
+    def test_fig1_count(self, titan, arndale_gpu):
+        assert power_matched_count(arndale_gpu, titan) == 47
+
+    def test_fractional_count(self, titan, arndale_gpu):
+        count = power_matched_count(arndale_gpu, titan, integral=False)
+        assert count == pytest.approx(287.0 / 6.11, rel=1e-3)
+
+    def test_explicit_budget(self, titan, arndale_gpu):
+        assert power_matched_count(arndale_gpu, titan, budget=140.0) == 23
+
+    def test_uncapped_reference_needs_budget(self, titan, arndale_gpu):
+        with pytest.raises(ValueError, match="budget"):
+            power_matched_count(arndale_gpu, titan.uncapped())
+
+    def test_uncapped_block_rejected(self, titan, arndale_gpu):
+        with pytest.raises(ValueError, match="finite cap"):
+            power_matched_count(arndale_gpu.uncapped(), titan)
+
+    def test_power_matched_ensemble(self, titan, arndale_gpu):
+        agg = power_matched_ensemble(arndale_gpu, titan)
+        budget = titan.pi1 + titan.delta_pi
+        assert agg.pi1 + agg.delta_pi == pytest.approx(47 * 6.11, rel=1e-3)
+        assert abs(agg.pi1 + agg.delta_pi - budget) / budget < 0.02
+
+    def test_comparison_record(self, titan, arndale_gpu):
+        cmp = compare_power_matched(arndale_gpu, titan)
+        assert cmp.count == 47
+        assert cmp.peak_ratio < 0.5
+        assert 1.5 < cmp.bandwidth_ratio < 1.8
+        assert cmp.power_ratio == pytest.approx(1.0, abs=0.02)
+
+    def test_comparison_ratios_match_model(self, titan, arndale_gpu):
+        cmp = compare_power_matched(arndale_gpu, titan)
+        direct = float(
+            model.performance(cmp.aggregate, 1.0) / model.performance(titan, 1.0)
+        )
+        assert cmp.performance_ratio(1.0) == pytest.approx(direct)
+        assert cmp.energy_efficiency_ratio(0.5) > 1.0

@@ -1,0 +1,71 @@
+"""Unit tests for repro.core.errors (the Fig. 4 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import compare_models, error_distribution
+from repro.core.fitting import fit_machine
+
+from .test_fitting import synthetic_observations
+
+
+@pytest.fixture
+def capped_data_fits(simple_machine):
+    # A dense sweep around the machine's cap region [5, 20] flop/B, so
+    # the K-S test has power (as the paper's near-continuous sweep did).
+    grid = np.logspace(0, 6, 60, base=2)
+    obs = synthetic_observations(
+        simple_machine, intensities=grid, noise=0.005, seed=11
+    )
+    capped = fit_machine(obs, capped=True)
+    uncapped = fit_machine(obs, capped=False)
+    return obs, capped, uncapped
+
+
+class TestErrorDistribution:
+    def test_basic_fields(self, capped_data_fits):
+        obs, capped, _ = capped_data_fits
+        dist = error_distribution(capped, obs, platform="simple")
+        assert dist.platform == "simple"
+        assert dist.model_label == "capped"
+        assert dist.metric == "performance"
+        assert dist.stats.n == len(dist.errors)
+
+    def test_unknown_metric_rejected(self, capped_data_fits):
+        obs, capped, _ = capped_data_fits
+        with pytest.raises(ValueError, match="unknown metric"):
+            error_distribution(capped, obs, platform="simple", metric="area")
+
+    def test_uncapped_overpredicts(self, capped_data_fits):
+        obs, _, uncapped = capped_data_fits
+        dist = error_distribution(uncapped, obs, platform="simple")
+        assert dist.stats.maximum > 0.2
+
+
+class TestCompareModels:
+    def test_comparison_structure(self, capped_data_fits):
+        obs, capped, uncapped = capped_data_fits
+        cmp = compare_models(uncapped, capped, obs, platform="simple")
+        assert cmp.uncapped.model_label == "uncapped"
+        assert cmp.capped.model_label == "capped"
+        assert cmp.ks.n1 == cmp.ks.n2
+
+    def test_order_enforced(self, capped_data_fits):
+        obs, capped, uncapped = capped_data_fits
+        with pytest.raises(ValueError, match="order"):
+            compare_models(capped, uncapped, obs, platform="simple")
+
+    def test_capped_improves_on_synthetic_capped_data(self, capped_data_fits):
+        obs, capped, uncapped = capped_data_fits
+        cmp = compare_models(uncapped, capped, obs, platform="simple")
+        assert cmp.spread_improvement > 0 or cmp.median_improvement > 0
+        assert cmp.distributions_differ  # clean data, strong cap
+
+    def test_identical_fits_not_flagged(self, simple_machine):
+        # Uncapped data: both fits coincide; KS must not reject.
+        machine = simple_machine.uncapped()
+        obs = synthetic_observations(machine, noise=0.01, seed=5, capped=False)
+        capped = fit_machine(obs, capped=True)
+        uncapped = fit_machine(obs, capped=False)
+        cmp = compare_models(uncapped, capped, obs, platform="simple")
+        assert not cmp.distributions_differ

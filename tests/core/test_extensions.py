@@ -1,0 +1,381 @@
+"""Tests for the extension modules: hierarchy, irregular, dvfs,
+bounding, composite."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import bounding, composite, dvfs, hierarchy, irregular, model
+from repro.machine.platforms import all_params, params
+
+
+class TestHierarchy:
+    def test_levels_of(self, titan):
+        assert hierarchy.levels_of(titan) == ("L1", "L2", "dram")
+
+    def test_dram_level_is_identity(self, titan):
+        assert hierarchy.params_for_level(titan, "dram") is titan
+
+    def test_level_substitution(self, titan):
+        l1 = hierarchy.params_for_level(titan, "L1")
+        cache = titan.cache_level("L1")
+        assert l1.tau_mem == pytest.approx(cache.tau_byte)
+        assert l1.eps_mem == pytest.approx(cache.eps_byte)
+        assert l1.tau_flop == titan.tau_flop  # compute side untouched
+
+    def test_unknown_level(self, titan):
+        with pytest.raises(KeyError):
+            hierarchy.params_for_level(titan, "L9")
+
+    def test_inner_levels_have_lower_balance(self, platforms):
+        """Faster levels turn the roofline corner at lower intensity."""
+        for cfg in platforms.values():
+            p = cfg.truth
+            balances = [
+                hierarchy.params_for_level(p, lvl).time_balance
+                for lvl in hierarchy.levels_of(p)
+            ]
+            assert balances == sorted(balances), p.name
+
+    def test_ceilings_nest(self, titan):
+        """At every intensity, a faster level's ceiling dominates."""
+        grid = np.logspace(-3, 9, 50, base=2)
+        c = hierarchy.ceilings(titan, grid)
+        assert np.all(c["L1"].performance >= c["L2"].performance - 1e-6)
+        assert np.all(c["L2"].performance >= c["dram"].performance - 1e-6)
+
+    def test_ceilings_converge_at_high_intensity(self, titan):
+        c = hierarchy.ceilings(titan, [2.0 ** 12])
+        perf = {lvl: ceiling.performance[0] for lvl, ceiling in c.items()}
+        assert perf["L1"] == pytest.approx(perf["dram"], rel=1e-6)
+
+    def test_locality_speedup_bounds(self, titan):
+        s = hierarchy.locality_speedup(titan, "L1", 1.0)
+        ratio = titan.cache_level("L1").bandwidth / titan.peak_bandwidth
+        assert 1.0 <= s <= ratio * (1 + 1e-9)
+
+    def test_locality_speedup_one_when_compute_bound(self, titan):
+        assert hierarchy.locality_speedup(titan, "L1", 2.0 ** 12) == pytest.approx(
+            1.0
+        )
+
+    def test_locality_energy_gain_positive(self, platforms):
+        for cfg in platforms.values():
+            p = cfg.truth
+            for level in p.cache_by_name:
+                assert hierarchy.locality_energy_gain(p, level, 1.0) >= 1.0
+
+
+class TestIrregularWorkloads:
+    def test_workload_validation(self):
+        with pytest.raises(ValueError):
+            irregular.Workload("", 1.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            irregular.Workload("w", 0.0, 0.0, 0.0)
+        with pytest.raises(ValueError):
+            irregular.Workload("w", -1.0, 0.0, 0.0)
+
+    def test_spmv_shape(self):
+        w = irregular.spmv_workload(nnz=1e6, n_rows=1e5)
+        assert w.flops == pytest.approx(2e6)
+        assert w.random_accesses == pytest.approx(1e6)
+        assert w.randomness == pytest.approx(0.5)
+        assert 0.2 < w.stream_intensity < 0.3
+
+    def test_bfs_shape(self):
+        w = irregular.bfs_workload(edges=1e6, vertices=1e5)
+        assert w.flops == 1e6
+        assert w.random_accesses == 1e6
+
+    def test_time_reduces_to_base_model_without_randomness(self, titan):
+        w = irregular.Workload("dense", flops=1e10, stream_bytes=1e9,
+                               random_accesses=0.0)
+        assert irregular.time(titan, w) == pytest.approx(
+            float(model.time(titan, 1e10, 1e9))
+        )
+        assert irregular.energy(titan, w) == pytest.approx(
+            float(model.energy(titan, 1e10, 1e9))
+        )
+
+    def test_randomness_slows_and_costs(self, titan):
+        dense = irregular.Workload("d", 1e9, 1e9, 0.0)
+        sparse = irregular.Workload("s", 1e9, 1e9, 1e7)
+        assert irregular.time(titan, sparse) > irregular.time(titan, dense)
+        assert irregular.energy(titan, sparse) > irregular.energy(titan, dense)
+
+    def test_requires_random_params(self):
+        nuc_gpu = params("nuc-gpu")
+        w = irregular.Workload("s", 1e9, 1e9, 1e6)
+        with pytest.raises(ValueError, match="random-access"):
+            irregular.time(nuc_gpu, w)
+
+    def test_capped_time_at_least_uncapped(self, arndale_gpu):
+        w = irregular.spmv_workload(nnz=1e7, n_rows=1e6)
+        assert irregular.time(arndale_gpu, w, capped=True) >= irregular.time(
+            arndale_gpu, w, capped=False
+        )
+
+    def test_power_bounded_by_cap(self, arndale_gpu):
+        w = irregular.spmv_workload(nnz=1e7, n_rows=1e6)
+        power = irregular.avg_power(arndale_gpu, w)
+        assert power <= arndale_gpu.pi1 + arndale_gpu.delta_pi + 1e-9
+
+    def test_effective_random_energy_inversion(self):
+        """Marginally the Phi wins by ~9x; with the pi1 charge it loses
+        to the Titan -- the Section V-B inversion, extended."""
+        phi = params("xeon-phi")
+        titan = params("gtx-titan")
+        assert phi.random.eps_access < titan.random.eps_access / 8
+        assert irregular.effective_random_energy(phi) > (
+            irregular.effective_random_energy(titan)
+        )
+
+    def test_ranking_skips_platforms_without_random(self):
+        w = irregular.spmv_workload(nnz=1e6, n_rows=1e5)
+        ranking = irregular.rank_by_irregular_efficiency(all_params(), w)
+        ids = [pid for pid, _ in ranking]
+        assert "nuc-gpu" not in ids
+        assert len(ids) == 11
+        scores = [v for _, v in ranking]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_flops_per_joule_requires_flops(self, titan):
+        w = irregular.Workload("mem", 0.0, 1e9, 0.0)
+        with pytest.raises(ValueError):
+            irregular.flops_per_joule(titan, w)
+
+    def test_scaled(self):
+        w = irregular.spmv_workload(nnz=1e6, n_rows=1e5).scaled(3.0)
+        assert w.flops == pytest.approx(6e6)
+
+
+class TestDVFS:
+    def test_scaled_params_identity_at_full_speed(self, titan):
+        s = dvfs.scaled_params(titan, 1.0)
+        assert s.tau_flop == titan.tau_flop
+        assert s.eps_flop == titan.eps_flop
+
+    def test_scaled_params_validation(self, titan):
+        with pytest.raises(ValueError):
+            dvfs.scaled_params(titan, 0.0)
+        with pytest.raises(ValueError):
+            dvfs.scaled_params(titan, 1.5)
+        with pytest.raises(ValueError):
+            dvfs.scaled_params(titan, 0.5, alpha=1.5)
+
+    def test_slowdown_scales_time_and_energy(self, titan):
+        s = dvfs.scaled_params(titan, 0.5, alpha=0.2)
+        assert s.tau_flop == pytest.approx(2 * titan.tau_flop)
+        g = 0.2 + 0.8 * 0.25
+        assert s.eps_flop == pytest.approx(g * titan.eps_flop)
+        assert s.cache_level("L1").bandwidth == pytest.approx(
+            0.5 * titan.cache_level("L1").bandwidth
+        )
+
+    def test_pi1_unchanged(self, titan):
+        assert dvfs.scaled_params(titan, 0.3).pi1 == titan.pi1
+
+    def test_high_pi1_platform_races_to_idle(self, xeon_phi):
+        # pi1 fraction 83%: slowing down can never pay.
+        assert dvfs.optimal_frequency(xeon_phi, 1.0, alpha=0.2) == 1.0
+        assert dvfs.energy_savings(xeon_phi, 1.0, alpha=0.2) == 0.0
+        assert dvfs.dvfs_useless_threshold(xeon_phi, 1.0, alpha=0.2)
+
+    def test_low_pi1_platform_benefits_from_slowing(self, arndale_gpu):
+        f = dvfs.optimal_frequency(arndale_gpu, 1.0, alpha=0.2)
+        assert f < 0.9
+        assert dvfs.energy_savings(arndale_gpu, 1.0, alpha=0.2) > 0.1
+
+    def test_zero_pi1_always_prefers_crawling(self, simple_machine):
+        from dataclasses import replace
+
+        free = replace(simple_machine.uncapped(), pi1=0.0)
+        f = dvfs.optimal_frequency(free, 1.0, alpha=0.2, f_min=0.1)
+        assert f == pytest.approx(0.1, abs=0.01)  # pinned at the floor
+
+    def test_optimum_beats_neighbours(self, arndale_gpu):
+        f = dvfs.optimal_frequency(arndale_gpu, 2.0, alpha=0.3)
+        e_star = dvfs.energy_per_flop_at(arndale_gpu, 2.0, f, alpha=0.3)
+        for other in (max(0.1, f - 0.05), min(1.0, f + 0.05)):
+            assert e_star <= dvfs.energy_per_flop_at(
+                arndale_gpu, 2.0, other, alpha=0.3
+            ) * (1 + 1e-6)
+
+    def test_savings_grow_as_alpha_falls(self, arndale_gpu):
+        low = dvfs.energy_savings(arndale_gpu, 1.0, alpha=0.1)
+        high = dvfs.energy_savings(arndale_gpu, 1.0, alpha=0.6)
+        assert low >= high
+
+
+class TestBounding:
+    def test_bounded_ensemble(self, arndale_gpu):
+        agg = bounding.bounded_ensemble(arndale_gpu, 140.0)
+        assert agg.pi1 + agg.delta_pi <= 140.0
+        assert agg.peak_flops == pytest.approx(22 * arndale_gpu.peak_flops)
+
+    def test_bounded_ensemble_infeasible(self, titan):
+        assert bounding.bounded_ensemble(titan, 100.0) is None
+
+    def test_bounded_ensemble_validation(self, titan):
+        with pytest.raises(ValueError):
+            bounding.bounded_ensemble(titan, 0.0)
+        with pytest.raises(ValueError):
+            bounding.bounded_ensemble(titan.uncapped(), 100.0)
+
+    def test_evaluate_candidates_respects_budget(self):
+        candidates = bounding.evaluate_candidates(all_params(), 100.0, 1.0)
+        assert candidates
+        for c in candidates:
+            assert c.power <= 100.0 + 1e-9
+            assert c.count >= 1
+
+    def test_best_block_memory_bound_is_arndale(self):
+        best = bounding.best_block(all_params(), 140.0, 0.25)
+        assert best.block_id == "arndale-gpu"
+
+    def test_best_block_raises_when_nothing_fits(self):
+        with pytest.raises(ValueError, match="budget"):
+            bounding.best_block(all_params(), 1.0, 1.0)
+
+    def test_objective_switch(self):
+        perf = bounding.best_block(all_params(), 290.0, 64.0)
+        eff = bounding.best_block(
+            all_params(), 290.0, 64.0, objective="flops_per_joule"
+        )
+        assert perf.score("performance") >= eff.score("performance")
+        assert eff.score("flops_per_joule") >= perf.score("flops_per_joule")
+
+    def test_crossover_budget_structure(self):
+        crossings = bounding.crossover_budget(all_params(), 8.0)
+        assert crossings
+        budgets = [b for b, _ in crossings]
+        assert budgets == sorted(budgets)
+        winners = [w for _, w in crossings]
+        assert all(a != b for a, b in zip(winners, winners[1:]))
+
+    def test_pareto_frontier_is_nondominated(self):
+        frontier = bounding.pareto_frontier(all_params(), 290.0, 4.0)
+        assert frontier
+        for a in frontier:
+            for b in frontier:
+                if a is b:
+                    continue
+                assert not (
+                    b.performance >= a.performance
+                    and b.flops_per_joule >= a.flops_per_joule
+                    and (
+                        b.performance > a.performance
+                        or b.flops_per_joule > a.flops_per_joule
+                    )
+                )
+
+
+class TestComposite:
+    def test_validation(self, titan):
+        with pytest.raises(ValueError):
+            composite.CompositeMachine(name="", components=((titan, 1.0),))
+        with pytest.raises(ValueError):
+            composite.CompositeMachine(name="m", components=())
+        with pytest.raises(ValueError):
+            composite.CompositeMachine.of("m", (titan, 0.0))
+
+    def test_single_component_matches_base_model(self, titan):
+        mix = composite.CompositeMachine.of("solo", (titan, 1.0))
+        for I in (0.25, 2.0, 64.0):
+            assert mix.performance(I) == pytest.approx(
+                float(model.performance(titan, I))
+            )
+            assert mix.flops_per_joule(I) == pytest.approx(
+                float(model.flops_per_joule(titan, I))
+            )
+
+    def test_homogeneous_matches_scaling_ensemble(self, arndale_gpu):
+        from repro.core.scaling import ensemble
+
+        mix = composite.CompositeMachine.of("agg", (arndale_gpu, 5.0))
+        agg = ensemble(arndale_gpu, 5)
+        for I in (0.5, 4.0, 32.0):
+            assert mix.performance(I) == pytest.approx(
+                float(model.performance(agg, I)), rel=1e-9
+            )
+
+    def test_mixed_performance_is_sum(self, titan, arndale_gpu):
+        mix = composite.CompositeMachine.of("mix", (titan, 1.0), (arndale_gpu, 10.0))
+        expected = float(model.performance(titan, 1.0)) + 10 * float(
+            model.performance(arndale_gpu, 1.0)
+        )
+        assert mix.performance(1.0) == pytest.approx(expected)
+
+    def test_mixed_efficiency_between_components(self, titan, arndale_gpu):
+        mix = composite.CompositeMachine.of("mix", (titan, 1.0), (arndale_gpu, 10.0))
+        for I in (0.25, 1.0, 16.0):
+            e_mix = mix.flops_per_joule(I)
+            e_a = float(model.flops_per_joule(titan, I))
+            e_b = float(model.flops_per_joule(arndale_gpu, I))
+            assert min(e_a, e_b) - 1e-9 <= e_mix <= max(e_a, e_b) + 1e-9
+
+    def test_static_aggregates(self, titan, arndale_gpu):
+        mix = composite.CompositeMachine.of("mix", (titan, 2.0), (arndale_gpu, 3.0))
+        assert mix.max_power == pytest.approx(2 * 287.0 + 3 * 6.11, rel=1e-3)
+        assert mix.peak_flops == pytest.approx(
+            2 * titan.peak_flops + 3 * arndale_gpu.peak_flops
+        )
+
+    def test_array_interface(self, titan, arndale_gpu):
+        mix = composite.CompositeMachine.of("mix", (titan, 1.0), (arndale_gpu, 4.0))
+        grid = np.array([0.5, 2.0, 8.0])
+        perf = mix.performance(grid)
+        assert perf.shape == (3,)
+        assert np.all(np.diff(perf) > 0)
+
+    def test_power_consistency(self, titan, arndale_gpu):
+        """avg_power == performance * energy_per_flop and below max."""
+        mix = composite.CompositeMachine.of("mix", (titan, 1.0), (arndale_gpu, 5.0))
+        for I in (0.25, 4.0, 128.0):
+            p = mix.avg_power(I)
+            assert p <= mix.max_power * (1 + 1e-9)
+            assert p >= mix.constant_power * (1 - 1e-9)
+
+    def test_describe(self, titan, arndale_gpu):
+        mix = composite.CompositeMachine.of("mix", (titan, 1.0), (arndale_gpu, 2.0))
+        text = mix.describe()
+        assert "GTX Titan" in text and "Arndale GPU" in text
+
+
+class TestBestMix:
+    def test_matches_or_beats_homogeneous(self):
+        from repro.core.bounding import best_block, best_mix
+
+        for budget, I in ((140.0, 0.25), (300.0, 4.0), (300.0, 64.0)):
+            hom = best_block(all_params(), budget, I)
+            mix = best_mix(all_params(), budget, I)
+            assert mix.performance(I) >= hom.performance * (1 - 1e-9)
+
+    def test_respects_budget(self):
+        from repro.core.bounding import best_mix
+
+        mix = best_mix(all_params(), 200.0, 2.0)
+        assert mix.max_power <= 200.0 + 1e-6
+
+    def test_raises_when_nothing_fits(self):
+        from repro.core.bounding import best_mix
+
+        with pytest.raises(ValueError, match="budget"):
+            best_mix(all_params(), 2.0, 1.0)
+
+    def test_mix_uses_leftover_budget(self):
+        """With a budget that leaves a large remainder after the best
+        homogeneous block, the mix packs a second block in."""
+        from repro.core.bounding import best_block, best_mix
+
+        blocks = {
+            "gtx-titan": params("gtx-titan"),  # 287 W nodes
+            "arndale-gpu": params("arndale-gpu"),  # 6.11 W nodes
+        }
+        budget = 320.0
+        hom = best_block(blocks, budget, 8.0)
+        mix = best_mix(blocks, budget, 8.0)
+        # One Titan (287 W) + five Arndales beats either alone at I=8.
+        assert mix.performance(8.0) > hom.performance
+        assert len(mix.components) == 2

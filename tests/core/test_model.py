@@ -1,0 +1,246 @@
+"""Unit tests for repro.core.model (eqs. 1-7)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import model
+from repro.core.model import Regime
+
+
+class TestTime:
+    def test_compute_bound(self, simple_machine):
+        # 1e12 flops at 100 Gflop/s = 10 s; memory term smaller.
+        t = model.time(simple_machine, 1e12, 1e9, capped=False)
+        assert t == pytest.approx(10.0)
+
+    def test_memory_bound(self, simple_machine):
+        # 1e11 bytes at 10 GB/s = 10 s; flop term 1e11 * 1e-11 = 1 s.
+        t = model.time(simple_machine, 1e11, 1e11, capped=False)
+        assert t == pytest.approx(10.0)
+
+    def test_cap_bound(self, simple_machine):
+        # At the ridge W = 10 Q: dynamic power demand is 2 W > 1.5 W cap.
+        W, Q = 1e12, 1e11
+        uncapped = model.time(simple_machine, W, Q, capped=False)
+        capped = model.time(simple_machine, W, Q, capped=True)
+        dyn = W * simple_machine.eps_flop + Q * simple_machine.eps_mem
+        assert capped == pytest.approx(dyn / simple_machine.delta_pi)
+        assert capped > uncapped
+
+    def test_capped_never_faster(self, simple_machine):
+        W = np.logspace(8, 13, 30)
+        Q = np.full_like(W, 1e10)
+        t_cap = model.time(simple_machine, W, Q, capped=True)
+        t_unc = model.time(simple_machine, W, Q, capped=False)
+        assert np.all(t_cap >= t_unc - 1e-30)
+
+    def test_zero_flops(self, simple_machine):
+        t = model.time(simple_machine, 0.0, 1e10, capped=False)
+        assert t == pytest.approx(1.0)
+
+    def test_rejects_negative_work(self, simple_machine):
+        with pytest.raises(ValueError):
+            model.time(simple_machine, -1.0, 1.0)
+
+    def test_scalar_in_scalar_out(self, simple_machine):
+        assert isinstance(model.time(simple_machine, 1e9, 1e9), float)
+
+    def test_array_broadcast(self, simple_machine):
+        W = np.array([1e9, 1e10, 1e11])
+        t = model.time(simple_machine, W, 1e9)
+        assert t.shape == (3,)
+        assert np.all(np.diff(t) > 0)
+
+    def test_double_precision_slower(self, simple_machine):
+        ts = model.time(simple_machine, 1e12, 0.0, precision="single")
+        td = model.time(simple_machine, 1e12, 0.0, precision="double")
+        assert td == pytest.approx(2.0 * ts)
+
+    def test_double_unavailable_raises(self, titan):
+        stripped = titan.renamed("t")
+        assert stripped.tau_flop_double is not None  # titan has doubles
+        from dataclasses import replace
+
+        nod = replace(stripped, tau_flop_double=None, eps_flop_double=None)
+        with pytest.raises(ValueError, match="double"):
+            model.time(nod, 1e9, 1e9, precision="double")
+
+    def test_unknown_precision_raises(self, simple_machine):
+        with pytest.raises(ValueError, match="precision"):
+            model.time(simple_machine, 1e9, 1e9, precision="half")
+
+
+class TestEnergy:
+    def test_decomposition(self, simple_machine):
+        W, Q = 1e10, 1e9
+        t = model.time(simple_machine, W, Q)
+        e = model.energy(simple_machine, W, Q)
+        expected = (
+            W * simple_machine.eps_flop
+            + Q * simple_machine.eps_mem
+            + simple_machine.pi1 * t
+        )
+        assert e == pytest.approx(expected)
+
+    def test_energy_at_least_dynamic(self, simple_machine):
+        W = np.logspace(8, 12, 20)
+        Q = np.logspace(7, 11, 20)
+        e = model.energy(simple_machine, W, Q)
+        dyn = W * simple_machine.eps_flop + Q * simple_machine.eps_mem
+        assert np.all(e >= dyn)
+
+    def test_capped_energy_not_lower(self, simple_machine):
+        W, Q = 1e12, 1e11
+        assert model.energy(simple_machine, W, Q, capped=True) >= model.energy(
+            simple_machine, W, Q, capped=False
+        )
+
+
+class TestAvgPower:
+    def test_equals_energy_over_time(self, simple_machine):
+        W, Q = 1e11, 1e10
+        p = model.avg_power(simple_machine, W, Q)
+        assert p == pytest.approx(
+            model.energy(simple_machine, W, Q) / model.time(simple_machine, W, Q)
+        )
+
+    def test_rejects_zero_work(self, simple_machine):
+        with pytest.raises(ValueError):
+            model.avg_power(simple_machine, 0.0, 0.0)
+
+    def test_capped_power_never_exceeds_budget(self, simple_machine):
+        W = np.logspace(8, 13, 50)
+        Q = np.full_like(W, 1e10)
+        p = model.avg_power(simple_machine, W, Q, capped=True)
+        budget = simple_machine.pi1 + simple_machine.delta_pi
+        assert np.all(p <= budget * (1 + 1e-12))
+
+
+class TestIntensityForms:
+    def test_time_per_flop_matches_explicit(self, simple_machine):
+        I = 4.0
+        Q = 1e10
+        W = I * Q
+        per_flop = model.time_per_flop(simple_machine, I)
+        assert per_flop * W == pytest.approx(model.time(simple_machine, W, Q))
+
+    def test_energy_per_flop_matches_explicit(self, simple_machine):
+        I, Q = 2.0, 1e10
+        W = I * Q
+        per_flop = model.energy_per_flop(simple_machine, I)
+        assert per_flop * W == pytest.approx(model.energy(simple_machine, W, Q))
+
+    def test_performance_is_reciprocal(self, simple_machine):
+        I = np.logspace(-3, 9, 40, base=2)
+        perf = np.asarray(model.performance(simple_machine, I))
+        tpf = np.asarray(model.time_per_flop(simple_machine, I))
+        assert np.allclose(perf * tpf, 1.0)
+
+    def test_performance_monotone_nondecreasing(self, simple_machine):
+        I = np.logspace(-4, 10, 100, base=2)
+        perf = np.asarray(model.performance(simple_machine, I))
+        assert np.all(np.diff(perf) >= -1e-6 * perf[:-1])
+
+    def test_performance_saturates_at_peak(self, simple_machine):
+        assert model.performance(simple_machine, 1e9) == pytest.approx(
+            simple_machine.peak_flops
+        )
+
+    def test_infinite_intensity(self, simple_machine):
+        assert model.time_per_flop(simple_machine, math.inf) == pytest.approx(
+            simple_machine.tau_flop
+        )
+
+    def test_rejects_nonpositive_intensity(self, simple_machine):
+        with pytest.raises(ValueError):
+            model.performance(simple_machine, 0.0)
+        with pytest.raises(ValueError):
+            model.performance(simple_machine, np.array([1.0, -2.0]))
+
+    def test_flops_per_joule_below_peak(self, simple_machine):
+        I = np.logspace(-3, 12, 60, base=2)
+        eff = np.asarray(model.flops_per_joule(simple_machine, I))
+        assert np.all(eff <= simple_machine.peak_flops_per_joule * (1 + 1e-9))
+
+    def test_flops_per_joule_increases_with_intensity(self, simple_machine):
+        eff = np.asarray(
+            model.flops_per_joule(simple_machine, np.logspace(-2, 8, 50, base=2))
+        )
+        assert np.all(np.diff(eff) >= -1e-9 * eff[:-1])
+
+
+class TestPowerCurve:
+    def test_closed_form_matches_ratio_all_platforms(self, platforms):
+        I = np.logspace(-4, 10, 200, base=2)
+        for cfg in platforms.values():
+            p = cfg.truth
+            direct = np.asarray(model.energy_per_flop(p, I)) / np.asarray(
+                model.time_per_flop(p, I)
+            )
+            closed = np.asarray(model.power_curve(p, I))
+            assert np.allclose(direct, closed, rtol=1e-12), p.name
+
+    def test_uncapped_peak_at_balance(self, uncapped_machine):
+        m = uncapped_machine
+        peak = model.power_curve(m, m.time_balance)
+        assert peak == pytest.approx(m.pi1 + m.pi_flop + m.pi_mem)
+
+    def test_capped_plateau_value(self, simple_machine):
+        m = simple_machine
+        mid = math.sqrt(m.time_balance_lower * m.time_balance_upper)
+        assert model.power_curve(m, mid) == pytest.approx(m.pi1 + m.delta_pi)
+
+    def test_limits(self, simple_machine):
+        m = simple_machine
+        assert model.power_curve(m, 1e12) == pytest.approx(m.pi1 + m.pi_flop, rel=1e-6)
+        low = model.power_curve(m, 1e-12)
+        assert low == pytest.approx(m.pi1 + m.pi_mem, rel=1e-3)
+
+    def test_power_bounded_below_by_pi1(self, platforms):
+        I = np.logspace(-4, 10, 100, base=2)
+        for cfg in platforms.values():
+            p = cfg.truth
+            power = np.asarray(model.power_curve(p, I))
+            assert np.all(power >= p.pi1)
+
+
+class TestRegime:
+    def test_scalar_returns_enum(self, simple_machine):
+        r = model.regime(simple_machine, 1.0)
+        assert isinstance(r, Regime)
+
+    def test_three_regimes_on_capped_machine(self, simple_machine):
+        m = simple_machine
+        assert model.regime(m, 1.0) is Regime.MEMORY
+        assert model.regime(m, 10.0) is Regime.CAP
+        assert model.regime(m, 100.0) is Regime.COMPUTE
+
+    def test_no_cap_regime_when_uncapped(self, uncapped_machine):
+        I = np.logspace(-4, 10, 100, base=2)
+        codes = model.regime(uncapped_machine, I)
+        assert int(Regime.CAP) not in set(codes.tolist())
+
+    def test_boundaries_resolve_outward(self, simple_machine):
+        m = simple_machine
+        assert model.regime(m, m.time_balance_lower) is Regime.MEMORY
+        assert model.regime(m, m.time_balance_upper) is Regime.COMPUTE
+
+    def test_regime_matches_binding_term(self, simple_machine):
+        m = simple_machine
+        for I in np.logspace(-3, 9, 60, base=2):
+            Q = 1e10
+            W = I * Q
+            t_f = W * m.tau_flop
+            t_m = Q * m.tau_mem
+            t_c = (W * m.eps_flop + Q * m.eps_mem) / m.delta_pi
+            binding = max(t_f, t_m, t_c)
+            r = model.regime(m, float(I))
+            if binding == t_c and r is not Regime.CAP:
+                # Boundary points may tie; allow equality with neighbours.
+                assert math.isclose(binding, max(t_f, t_m), rel_tol=1e-9)
+            elif binding == t_f and t_f > t_c:
+                assert r is Regime.COMPUTE
+            elif binding == t_m and t_m > t_c:
+                assert r is Regime.MEMORY

@@ -1,0 +1,162 @@
+"""Property-based tests (hypothesis) on the core model invariants."""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import model
+from repro.core.params import MachineParams
+
+# Physical parameters spanning the realistic ranges of Table I
+# (mobile boards to desktop GPUs), in SI units.
+taus_flop = st.floats(min_value=1e-13, max_value=1e-9)
+taus_mem = st.floats(min_value=1e-12, max_value=1e-8)
+eps_flops = st.floats(min_value=1e-12, max_value=1e-9)
+eps_mems = st.floats(min_value=1e-11, max_value=1e-8)
+pi1s = st.floats(min_value=0.0, max_value=300.0)
+caps = st.one_of(st.floats(min_value=0.1, max_value=500.0), st.just(math.inf))
+intensities = st.floats(min_value=2.0 ** -10, max_value=2.0 ** 14)
+
+
+@st.composite
+def machines(draw):
+    return MachineParams(
+        name="hyp",
+        tau_flop=draw(taus_flop),
+        tau_mem=draw(taus_mem),
+        eps_flop=draw(eps_flops),
+        eps_mem=draw(eps_mems),
+        pi1=draw(pi1s),
+        delta_pi=draw(caps),
+    )
+
+
+@given(machines(), intensities)
+@settings(max_examples=200)
+def test_time_at_least_component_times(m, I):
+    Q = 1e9
+    W = I * Q
+    t = model.time(m, W, Q)
+    assert t >= W * m.tau_flop * (1 - 1e-12)
+    assert t >= Q * m.tau_mem * (1 - 1e-12)
+
+
+@given(machines(), intensities)
+@settings(max_examples=200)
+def test_capped_time_never_below_uncapped(m, I):
+    Q = 1e9
+    W = I * Q
+    assert model.time(m, W, Q, capped=True) >= model.time(
+        m, W, Q, capped=False
+    ) * (1 - 1e-12)
+
+
+@given(machines(), intensities)
+@settings(max_examples=200)
+def test_average_power_within_model_bounds(m, I):
+    power = model.power_curve(m, I)
+    assert power >= m.pi1 * (1 - 1e-12)
+    ceiling = m.pi1 + min(
+        m.delta_pi if m.is_capped else math.inf, m.pi_flop + m.pi_mem
+    )
+    assert power <= ceiling * (1 + 1e-9)
+
+
+@given(machines(), intensities)
+@settings(max_examples=200)
+def test_power_closed_form_consistent(m, I):
+    direct = model.energy_per_flop(m, I) / model.time_per_flop(m, I)
+    closed = model.power_curve(m, I)
+    assert math.isclose(direct, closed, rel_tol=1e-9)
+
+
+@given(machines(), intensities, intensities)
+@settings(max_examples=200)
+def test_performance_monotone_in_intensity(m, i1, i2):
+    lo, hi = min(i1, i2), max(i1, i2)
+    assert model.performance(m, lo) <= model.performance(m, hi) * (1 + 1e-12)
+
+
+@given(machines(), intensities, intensities)
+@settings(max_examples=200)
+def test_efficiency_monotone_in_intensity(m, i1, i2):
+    lo, hi = min(i1, i2), max(i1, i2)
+    assert model.flops_per_joule(m, lo) <= model.flops_per_joule(m, hi) * (
+        1 + 1e-12
+    )
+
+
+@given(machines(), intensities)
+@settings(max_examples=200)
+def test_energy_decomposition_identity(m, I):
+    Q = 1e9
+    W = I * Q
+    e = model.energy(m, W, Q)
+    t = model.time(m, W, Q)
+    assert math.isclose(
+        e, W * m.eps_flop + Q * m.eps_mem + m.pi1 * t, rel_tol=1e-12
+    )
+
+
+@given(machines(), intensities, st.floats(min_value=0.1, max_value=10.0))
+@settings(max_examples=200)
+def test_work_scaling_linearity(m, I, scale):
+    """Doubling the work doubles time and energy (the model has no
+    fixed per-run cost)."""
+    Q = 1e9
+    W = I * Q
+    assert math.isclose(
+        model.time(m, W * scale, Q * scale),
+        scale * model.time(m, W, Q),
+        rel_tol=1e-12,
+    )
+    assert math.isclose(
+        model.energy(m, W * scale, Q * scale),
+        scale * model.energy(m, W, Q),
+        rel_tol=1e-12,
+    )
+
+
+@given(machines(), intensities)
+@settings(max_examples=200)
+def test_regime_consistent_with_power(m, I):
+    """Cap-bound intensities run exactly at the cap; others below it."""
+    if not m.is_capped:
+        return
+    r = model.regime(m, I)
+    power = model.power_curve(m, I)
+    if r == model.Regime.CAP:
+        assert math.isclose(power, m.pi1 + m.delta_pi, rel_tol=1e-9)
+    else:
+        assert power <= m.pi1 + m.delta_pi + 1e-9 * max(1.0, power)
+
+
+@given(machines(), intensities, st.floats(min_value=0.05, max_value=1.0))
+@settings(max_examples=200)
+def test_tighter_cap_never_helps(m, I, factor):
+    if not m.is_capped:
+        return
+    tight = m.with_cap_scaled(factor)
+    assert model.performance(tight, I) <= model.performance(m, I) * (1 + 1e-12)
+    assert model.flops_per_joule(tight, I) <= model.flops_per_joule(m, I) * (
+        1 + 1e-12
+    )
+
+
+@given(machines(), intensities, st.integers(min_value=1, max_value=64))
+@settings(max_examples=200)
+def test_ensemble_scales_performance_linearly(m, I, n):
+    from repro.core.scaling import ensemble
+
+    agg = ensemble(m, n)
+    assert math.isclose(
+        model.performance(agg, I), n * model.performance(m, I), rel_tol=1e-9
+    )
+    # Per-flop energy cost is intensive: unchanged by aggregation.
+    assert math.isclose(
+        model.flops_per_joule(agg, I),
+        model.flops_per_joule(m, I),
+        rel_tol=1e-9,
+    )

@@ -1,0 +1,199 @@
+"""Unit tests for repro.core.params."""
+
+import math
+
+import pytest
+
+from repro.core.params import CacheLevelParams, MachineParams, RandomAccessParams
+
+
+def make(**overrides):
+    base = dict(
+        name="m",
+        tau_flop=1e-11,
+        tau_mem=1e-10,
+        eps_flop=1e-11,
+        eps_mem=1e-10,
+        pi1=10.0,
+        delta_pi=2.0,
+    )
+    base.update(overrides)
+    return MachineParams(**base)
+
+
+class TestValidation:
+    def test_accepts_valid(self):
+        assert make().name == "m"
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError, match="name"):
+            make(name="")
+
+    @pytest.mark.parametrize("field", ["tau_flop", "tau_mem", "eps_flop", "eps_mem"])
+    def test_rejects_nonpositive_costs(self, field):
+        with pytest.raises(ValueError, match=field):
+            make(**{field: 0.0})
+        with pytest.raises(ValueError, match=field):
+            make(**{field: -1.0})
+
+    def test_rejects_negative_pi1(self):
+        with pytest.raises(ValueError, match="pi1"):
+            make(pi1=-0.1)
+
+    def test_zero_pi1_allowed(self):
+        assert make(pi1=0.0).pi1 == 0.0
+
+    def test_rejects_nonpositive_delta_pi(self):
+        with pytest.raises(ValueError, match="delta_pi"):
+            make(delta_pi=0.0)
+
+    def test_infinite_delta_pi_allowed(self):
+        assert not make(delta_pi=math.inf).is_capped
+
+    def test_rejects_nan_cost(self):
+        with pytest.raises(ValueError):
+            make(tau_flop=float("nan"))
+
+    def test_double_params_must_come_together(self):
+        with pytest.raises(ValueError, match="together"):
+            make(tau_flop_double=1e-11)
+        with pytest.raises(ValueError, match="together"):
+            make(eps_flop_double=1e-11)
+
+    def test_duplicate_cache_names_rejected(self):
+        level = CacheLevelParams("L1", eps_byte=1e-12, bandwidth=1e9)
+        with pytest.raises(ValueError, match="duplicate"):
+            make(caches=(level, level))
+
+
+class TestCacheLevelParams:
+    def test_tau_and_power(self):
+        level = CacheLevelParams("L1", eps_byte=2e-12, bandwidth=100e9)
+        assert level.tau_byte == pytest.approx(1e-11)
+        assert level.power == pytest.approx(0.2)
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError, match="capacity"):
+            CacheLevelParams("L1", eps_byte=1e-12, bandwidth=1e9, capacity=0)
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError, match="name"):
+            CacheLevelParams("", eps_byte=1e-12, bandwidth=1e9)
+
+
+class TestRandomAccessParams:
+    def test_tau_access(self):
+        r = RandomAccessParams(eps_access=1e-9, rate=1e8)
+        assert r.tau_access == pytest.approx(1e-8)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            RandomAccessParams(eps_access=0.0, rate=1e8)
+        with pytest.raises(ValueError):
+            RandomAccessParams(eps_access=1e-9, rate=0.0)
+
+
+class TestDerivedQuantities:
+    def test_reciprocals(self):
+        m = make()
+        assert m.peak_flops == pytest.approx(1e11)
+        assert m.peak_bandwidth == pytest.approx(1e10)
+
+    def test_powers(self):
+        m = make()
+        assert m.pi_flop == pytest.approx(1.0)
+        assert m.pi_mem == pytest.approx(1.0)
+
+    def test_balances(self):
+        m = make()
+        assert m.time_balance == pytest.approx(10.0)
+        assert m.energy_balance == pytest.approx(10.0)
+
+    def test_cap_binds(self):
+        assert make(delta_pi=1.5).cap_binds
+        assert not make(delta_pi=2.5).cap_binds
+        assert not make(delta_pi=math.inf).cap_binds
+
+    def test_max_power_capped(self):
+        assert make(delta_pi=1.5).max_power == pytest.approx(11.5)
+
+    def test_max_power_uncapped_is_dynamic_sum(self):
+        assert make(delta_pi=math.inf).max_power == pytest.approx(12.0)
+
+    def test_balance_interval_uncapped_degenerates(self):
+        m = make(delta_pi=math.inf)
+        assert m.time_balance_lower == m.time_balance == m.time_balance_upper
+
+    def test_balance_interval_brackets_balance(self):
+        m = make(delta_pi=1.5)
+        assert m.time_balance_lower <= m.time_balance <= m.time_balance_upper
+        assert m.time_balance_lower < m.time_balance_upper
+
+    def test_balance_interval_values(self):
+        # B_tau = 10, pi_f = pi_m = 1, dpi = 1.5:
+        # upper = 10 * max(1, 1/0.5) = 20; lower = 10 * min(1, 0.5/1) = 5.
+        m = make(delta_pi=1.5)
+        assert m.time_balance_upper == pytest.approx(20.0)
+        assert m.time_balance_lower == pytest.approx(5.0)
+
+    def test_flop_power_unreachable_gives_infinite_upper(self):
+        m = make(delta_pi=0.9)  # below pi_flop
+        assert math.isinf(m.time_balance_upper)
+
+    def test_mem_power_unreachable_gives_zero_lower(self):
+        m = make(delta_pi=0.9)  # below pi_mem
+        assert m.time_balance_lower == 0.0
+
+    def test_effective_taus_with_binding_cap(self):
+        m = make(delta_pi=0.5)  # below both pi_flop and pi_mem
+        assert m.effective_tau_flop == pytest.approx(m.eps_flop / 0.5)
+        assert m.effective_tau_mem == pytest.approx(m.eps_mem / 0.5)
+
+    def test_effective_taus_without_cap(self):
+        m = make(delta_pi=math.inf)
+        assert m.effective_tau_flop == m.tau_flop
+        assert m.effective_tau_mem == m.tau_mem
+
+    def test_peak_efficiencies(self):
+        m = make(delta_pi=2.5)  # cap does not bind at the extremes
+        expected_flop = 1.0 / (m.eps_flop + m.pi1 * m.tau_flop)
+        expected_mem = 1.0 / (m.eps_mem + m.pi1 * m.tau_mem)
+        assert m.peak_flops_per_joule == pytest.approx(expected_flop)
+        assert m.peak_bytes_per_joule == pytest.approx(expected_mem)
+
+    def test_constant_power_fraction(self):
+        assert make(pi1=10, delta_pi=10).constant_power_fraction == pytest.approx(0.5)
+        assert make(delta_pi=math.inf).constant_power_fraction == 0.0
+
+
+class TestDerivedPlatforms:
+    def test_with_cap(self):
+        m = make().with_cap(0.7)
+        assert m.delta_pi == pytest.approx(0.7)
+
+    def test_with_cap_scaled(self):
+        m = make(delta_pi=2.0).with_cap_scaled(0.25)
+        assert m.delta_pi == pytest.approx(0.5)
+
+    def test_with_cap_scaled_rejects_uncapped(self):
+        with pytest.raises(ValueError, match="uncapped"):
+            make(delta_pi=math.inf).with_cap_scaled(0.5)
+
+    def test_uncapped(self):
+        assert not make().uncapped().is_capped
+
+    def test_renamed(self):
+        m = make().renamed("other", "desc")
+        assert m.name == "other"
+        assert m.description == "desc"
+        assert m.tau_flop == make().tau_flop
+
+    def test_cache_level_lookup(self, simple_machine):
+        assert simple_machine.cache_level("L1").name == "L1"
+        with pytest.raises(KeyError, match="L3"):
+            simple_machine.cache_level("L3")
+
+    def test_from_throughputs_round_trip(self, simple_machine):
+        assert simple_machine.peak_flops == pytest.approx(100e9)
+        assert simple_machine.peak_bandwidth == pytest.approx(10e9)
+        assert simple_machine.tau_flop_double == pytest.approx(1.0 / 50e9)

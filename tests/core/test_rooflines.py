@@ -1,0 +1,139 @@
+"""Unit tests for repro.core.rooflines."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import model, rooflines
+
+
+class TestIntensityGrid:
+    def test_endpoints_included(self):
+        grid = rooflines.intensity_grid(0.125, 512.0, 8)
+        assert grid[0] == pytest.approx(0.125)
+        assert grid[-1] == pytest.approx(512.0)
+
+    def test_log_spacing(self):
+        grid = rooflines.intensity_grid(1.0, 16.0, 1)
+        assert np.allclose(np.diff(np.log2(grid)), np.log2(grid[1] / grid[0]))
+
+    def test_density(self):
+        grid = rooflines.intensity_grid(1.0, 2.0 ** 10, 4)
+        assert len(grid) == 41
+
+    def test_rejects_bad_range(self):
+        with pytest.raises(ValueError):
+            rooflines.intensity_grid(2.0, 1.0)
+        with pytest.raises(ValueError):
+            rooflines.intensity_grid(0.0, 1.0)
+        with pytest.raises(ValueError):
+            rooflines.intensity_grid(1.0, 2.0, 0)
+
+
+class TestSampleCurve:
+    def test_matches_model(self, simple_machine):
+        grid = rooflines.intensity_grid(0.25, 64.0, 2)
+        curve = rooflines.sample_curve(simple_machine, grid)
+        assert np.allclose(
+            curve.performance, model.performance(simple_machine, grid)
+        )
+        assert np.allclose(curve.power, model.power_curve(simple_machine, grid))
+
+    def test_metric_accessor(self, simple_machine):
+        curve = rooflines.sample_curve(simple_machine)
+        assert np.array_equal(curve.metric("performance"), curve.performance)
+        with pytest.raises(ValueError, match="unknown metric"):
+            curve.metric("latency")
+
+    def test_normalised(self, simple_machine):
+        curve = rooflines.sample_curve(simple_machine)
+        norm = curve.normalised("performance", simple_machine.peak_flops)
+        assert np.max(norm) <= 1.0 + 1e-12
+        with pytest.raises(ValueError):
+            curve.normalised("performance", 0.0)
+
+    def test_length_mismatch_rejected(self, simple_machine):
+        with pytest.raises(ValueError, match="length"):
+            rooflines.RooflineCurve(
+                params=simple_machine,
+                intensity=np.array([1.0, 2.0]),
+                performance=np.array([1.0]),
+                flops_per_joule=np.array([1.0, 2.0]),
+                power=np.array([1.0, 2.0]),
+            )
+
+
+class TestCrossovers:
+    def test_titan_vs_arndale_energy_crossover(self, titan, arndale_gpu):
+        roots = rooflines.crossover_intensities(
+            arndale_gpu, titan, "flops_per_joule"
+        )
+        assert len(roots) == 1
+        # The Fig. 1 parity region ends between I = 1 and I = 4.
+        assert 1.0 < roots[0] < 4.0
+
+    def test_crossing_is_a_sign_change(self, titan, arndale_gpu):
+        root = rooflines.crossover_intensities(
+            arndale_gpu, titan, "flops_per_joule"
+        )[0]
+        below = rooflines.metric_ratio(arndale_gpu, titan, root * 0.9)
+        above = rooflines.metric_ratio(arndale_gpu, titan, root * 1.1)
+        assert (below - 1.0) * (above - 1.0) < 0
+
+    def test_identical_platforms_no_isolated_crossings(self, titan):
+        # Everywhere equal: scan reports no sign changes.
+        roots = rooflines.crossover_intensities(titan, titan, "performance")
+        # Equality at every grid point registers at most grid artifacts;
+        # ensure any reported root still has ratio == 1.
+        for r in roots:
+            assert rooflines.metric_ratio(titan, titan, r) == pytest.approx(1.0)
+
+    def test_performance_never_crosses_when_dominated(self, titan, arndale_gpu):
+        # Titan's performance dominates the Arndale GPU at every intensity.
+        roots = rooflines.crossover_intensities(
+            titan, arndale_gpu, "performance"
+        )
+        assert roots == []
+
+
+class TestParityAndDominance:
+    def test_parity_bound_brackets_paper_value(self, titan, arndale_gpu):
+        bound = rooflines.parity_upper_bound(
+            arndale_gpu, titan, tolerance=0.8
+        )
+        assert 3.0 < bound < 6.5
+
+    def test_parity_tightening_shrinks_bound(self, titan, arndale_gpu):
+        loose = rooflines.parity_upper_bound(arndale_gpu, titan, tolerance=0.7)
+        tight = rooflines.parity_upper_bound(arndale_gpu, titan, tolerance=0.9)
+        assert tight < loose
+
+    def test_parity_never_below_everywhere(self, titan):
+        # A platform is always within tolerance of itself.
+        bound = rooflines.parity_upper_bound(titan, titan, tolerance=0.99)
+        assert bound == pytest.approx(2.0 ** 12)
+
+    def test_parity_bound_rejects_bad_tolerance(self, titan, arndale_gpu):
+        with pytest.raises(ValueError):
+            rooflines.parity_upper_bound(arndale_gpu, titan, tolerance=0.0)
+
+    def test_dominance_intervals_cover_range(self, titan, arndale_gpu):
+        intervals = rooflines.dominance_intervals(
+            arndale_gpu, titan, "flops_per_joule", i_min=0.125, i_max=256.0
+        )
+        assert intervals[0][0] == pytest.approx(0.125)
+        assert intervals[-1][1] == pytest.approx(256.0)
+        for (a_lo, a_hi, _), (b_lo, _, _) in zip(intervals, intervals[1:]):
+            assert a_hi == pytest.approx(b_lo)
+
+    def test_dominance_winners(self, titan, arndale_gpu):
+        intervals = rooflines.dominance_intervals(
+            arndale_gpu, titan, "flops_per_joule", i_min=0.125, i_max=256.0
+        )
+        assert intervals[0][2] == arndale_gpu.name  # wins at low intensity
+        assert intervals[-1][2] == titan.name  # wins at high intensity
+
+    def test_metric_function_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            rooflines.metric_function("latency")

@@ -1,0 +1,220 @@
+"""Unit tests for the trace-driven cache simulator."""
+
+import numpy as np
+import pytest
+
+from repro.machine.cache import (
+    CacheGeometry,
+    CacheHierarchySim,
+    CacheLevelSim,
+    expected_chase_level,
+    expected_stream_hits,
+    hierarchy_from_level_params,
+)
+from repro.core.params import CacheLevelParams
+from repro.machine.trace import pointer_chase_trace, stream_trace
+
+
+def geom(name="L1", capacity=1024, line=64, assoc=4):
+    return CacheGeometry(name, capacity, line, assoc)
+
+
+class TestGeometry:
+    def test_derived_counts(self):
+        g = geom(capacity=4096, line=64, assoc=4)
+        assert g.n_sets == 16
+        assert g.n_lines == 64
+
+    def test_rejects_non_power_of_two_line(self):
+        with pytest.raises(ValueError, match="power of two"):
+            geom(line=48)
+
+    def test_rejects_indivisible_capacity(self):
+        with pytest.raises(ValueError, match="divisible"):
+            CacheGeometry("L1", 1000, 64, 4)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            CacheGeometry("L1", 0, 64, 4)
+
+
+class TestCacheLevelSim:
+    def test_cold_miss_then_hit(self):
+        sim = CacheLevelSim(geom())
+        assert not sim.access_line(0)
+        assert sim.access_line(0)
+        assert sim.hits == 1 and sim.misses == 1
+
+    def test_lru_eviction_within_set(self):
+        # 1 set, 2 ways: capacity 128, line 64, assoc 2.
+        sim = CacheLevelSim(geom(capacity=128, line=64, assoc=2))
+        sim.access_line(0)
+        sim.access_line(1)
+        sim.access_line(2)  # evicts line 0 (LRU)
+        assert not sim.access_line(0)
+        assert sim.access_line(2)
+
+    def test_lru_order_updated_on_hit(self):
+        sim = CacheLevelSim(geom(capacity=128, line=64, assoc=2))
+        sim.access_line(0)
+        sim.access_line(1)
+        sim.access_line(0)  # 0 becomes MRU
+        sim.access_line(2)  # evicts 1
+        assert sim.access_line(0)
+        assert not sim.access_line(1)
+
+    def test_set_mapping_conflicts(self):
+        # 2 sets, 1 way each: even lines -> set 0, odd lines -> set 1.
+        sim = CacheLevelSim(geom(capacity=128, line=64, assoc=1))
+        sim.access_line(0)
+        sim.access_line(2)  # conflicts with line 0 in set 0
+        assert not sim.access_line(0)
+        sim.access_line(1)
+        assert sim.access_line(1)
+
+    def test_occupancy_and_flush(self):
+        sim = CacheLevelSim(geom())
+        for line in range(5):
+            sim.access_line(line)
+        assert sim.occupancy == 5
+        sim.flush()
+        assert sim.occupancy == 0
+        assert sim.misses == 0
+
+    def test_reset_counters_keeps_contents(self):
+        sim = CacheLevelSim(geom())
+        sim.access_line(0)
+        sim.reset_counters()
+        assert sim.access_line(0)
+        assert sim.hits == 1 and sim.misses == 0
+
+
+class TestHierarchy:
+    def make(self):
+        return CacheHierarchySim(
+            [geom("L1", 1024, 64, 4), geom("L2", 8192, 64, 8)]
+        )
+
+    def test_rejects_mixed_line_sizes(self):
+        with pytest.raises(ValueError, match="line size"):
+            CacheHierarchySim([geom("L1", 1024, 64), geom("L2", 8192, 128)])
+
+    def test_rejects_wrong_order(self):
+        with pytest.raises(ValueError, match="ordered"):
+            CacheHierarchySim([geom("L1", 8192, 64), geom("L2", 1024, 64)])
+
+    def test_cold_access_is_dram(self):
+        assert self.make().access(0) == "dram"
+
+    def test_warm_access_is_l1(self):
+        h = self.make()
+        h.access(0)
+        assert h.access(0) == "L1"
+
+    def test_l1_victim_found_in_l2(self):
+        h = self.make()
+        # Touch more distinct lines than L1 holds (16) but fewer than
+        # L2 holds (128): the second pass hits in L1 or L2, not DRAM.
+        n_lines = 32
+        for line in range(n_lines):
+            h.access(line * 64)
+        served = [h.access(line * 64) for line in range(n_lines)]
+        assert "dram" not in served
+        assert "L2" in served
+
+    def test_run_trace_stats(self):
+        h = self.make()
+        addrs = stream_trace(1024, 64, passes=2)
+        stats = h.run_trace(addrs)
+        assert stats.total == len(addrs)
+        # Second pass hits entirely in L1 (16 lines fit).
+        assert stats.hits[0] >= 16
+
+    def test_warm_resets_counters(self):
+        h = self.make()
+        addrs = stream_trace(1024, 64)
+        h.warm(addrs)
+        stats = h.run_trace(addrs)
+        assert stats.fraction_from("L1") == 1.0
+
+    def test_stats_bytes_and_fractions(self):
+        h = self.make()
+        h.warm(stream_trace(1024, 64))
+        stats = h.run_trace(stream_trace(1024, 64))
+        by = stats.bytes_from(64)
+        assert by["L1"] == pytest.approx(1024)
+        assert by["dram"] == 0.0
+        with pytest.raises(KeyError):
+            stats.fraction_from("L9")
+
+
+class TestClosedForms:
+    def test_expected_stream_hits(self):
+        capacities = [1024, 8192]
+        assert expected_stream_hits(512, capacities) == 0
+        assert expected_stream_hits(4096, capacities) == 1
+        assert expected_stream_hits(65536, capacities) is None
+        assert expected_stream_hits(512, capacities, warm=False) is None
+
+    def test_expected_chase_level_matches_stream(self):
+        assert expected_chase_level(512, [1024]) == 0
+        assert expected_chase_level(4096, [1024]) is None
+
+    def test_rejects_nonpositive_ws(self):
+        with pytest.raises(ValueError):
+            expected_stream_hits(0, [1024])
+
+    def test_simulator_agrees_with_closed_form(self):
+        """Cross-validation: warm sweeps are served by the predicted
+        level for working sets well inside each capacity."""
+        h = CacheHierarchySim([geom("L1", 2048, 64, 8), geom("L2", 16384, 64, 8)])
+        for ws, expected in [(1024, "L1"), (8192, "L2")]:
+            h.flush()
+            addrs = stream_trace(ws, 64)
+            h.warm(addrs)
+            stats = h.run_trace(addrs)
+            assert stats.fraction_from(expected) == 1.0, ws
+
+    def test_oversized_sweep_misses_lru(self):
+        """A cyclic sweep larger than the cache never hits under LRU."""
+        h = CacheHierarchySim([geom("L1", 1024, 64, 16)])
+        addrs = stream_trace(4096, 64, passes=3)
+        stats = h.run_trace(addrs)
+        assert stats.fraction_from("dram") == 1.0
+
+
+class TestChaseThroughCaches:
+    def test_dram_sized_chase_misses(self, rng):
+        h = CacheHierarchySim([geom("L1", 4096, 64, 8)])
+        addrs = pointer_chase_trace(rng, 1 << 20, 64, 5000)
+        h.warm(addrs[:1000])
+        stats = h.run_trace(addrs)
+        assert stats.fraction_from("dram") > 0.95
+
+    def test_resident_chase_hits(self, rng):
+        h = CacheHierarchySim([geom("L1", 4096, 64, 8)])
+        addrs = pointer_chase_trace(rng, 2048, 64, 2000)
+        h.warm(addrs[:64])
+        stats = h.run_trace(addrs)
+        assert stats.fraction_from("L1") > 0.95
+
+
+class TestHierarchyFromParams:
+    def test_builds_from_level_params(self):
+        levels = [
+            CacheLevelParams("L1", eps_byte=1e-12, bandwidth=1e9, capacity=32768),
+            CacheLevelParams("L2", eps_byte=2e-12, bandwidth=1e9, capacity=262144),
+        ]
+        h = hierarchy_from_level_params(levels, 64)
+        assert h.level_names == ("L1", "L2")
+
+    def test_skips_capacityless_levels(self):
+        levels = [CacheLevelParams("L1", eps_byte=1e-12, bandwidth=1e9)]
+        assert hierarchy_from_level_params(levels, 64) is None
+
+    def test_associativity_adjusts_for_divisibility(self):
+        levels = [
+            CacheLevelParams("odd", eps_byte=1e-12, bandwidth=1e9, capacity=96 * 1024)
+        ]
+        h = hierarchy_from_level_params(levels, 64)
+        assert h is not None  # 96 KiB % (64 * 8) == 0 at assoc 8 already

@@ -1,0 +1,144 @@
+"""Unit tests for repro.machine.governor."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine.governor import GovernorSettings, run_governor
+
+
+class TestSettings:
+    def test_defaults_valid(self):
+        GovernorSettings()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"period": 0.0},
+            {"hysteresis": 1.0},
+            {"hysteresis": -0.1},
+            {"gain": 0.0},
+            {"gain": 1.0},
+            {"f_min": 0.0},
+            {"f_min": 1.5},
+            {"max_segments": 0},
+        ],
+    )
+    def test_rejects_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            GovernorSettings(**kwargs)
+
+
+class TestUnthrottled:
+    def test_demand_below_cap_runs_full_speed(self):
+        result = run_governor(0.5, demand_power=10.0, cap=20.0)
+        assert not result.throttled
+        assert result.wall_time == pytest.approx(0.5)
+        assert result.mean_frequency == pytest.approx(1.0)
+
+    def test_demand_exactly_at_cap_unthrottled(self):
+        result = run_governor(0.5, demand_power=20.0, cap=20.0)
+        assert not result.throttled
+
+    def test_infinite_cap(self):
+        result = run_governor(1.0, demand_power=1e6, cap=math.inf)
+        assert not result.throttled
+
+    def test_zero_demand(self):
+        result = run_governor(1.0, demand_power=0.0, cap=5.0)
+        assert not result.throttled
+
+
+class TestThrottled:
+    def test_wall_time_extended(self):
+        result = run_governor(0.25, demand_power=30.0, cap=20.0)
+        assert result.throttled
+        # Ideal throttled time = work / (cap/demand) = 0.375 s.
+        assert result.wall_time == pytest.approx(0.375, rel=0.1)
+
+    def test_average_power_respects_cap(self):
+        result = run_governor(0.25, demand_power=30.0, cap=20.0)
+        powers = result.frequencies * 30.0
+        avg = float(np.dot(result.durations, powers) / result.wall_time)
+        # One-sided enforcement settles at or below the cap (a short
+        # initial full-power ramp is allowed).
+        assert avg <= 20.0 * 1.05
+
+    def test_instantaneous_power_bounded_after_ramp(self):
+        result = run_governor(0.25, demand_power=30.0, cap=20.0)
+        powers = result.frequencies * 30.0
+        # After the ramp (first few control periods) power stays at or
+        # below the cap.
+        assert np.all(powers[5:] <= 20.0 + 1e-9)
+
+    def test_total_progress_conserved(self):
+        work = 0.2
+        result = run_governor(work, demand_power=50.0, cap=10.0)
+        progress = float(np.dot(result.durations, result.frequencies))
+        assert progress == pytest.approx(work, rel=1e-9)
+
+    def test_oscillation_present(self):
+        result = run_governor(0.25, demand_power=30.0, cap=20.0)
+        # The control loop hunts: more than two distinct frequencies.
+        assert len(set(np.round(result.frequencies, 6))) > 2
+
+    def test_deep_throttle_hits_floor(self):
+        settings = GovernorSettings(f_min=0.5)
+        result = run_governor(0.01, demand_power=1000.0, cap=1.0, settings=settings)
+        assert np.min(result.frequencies) >= 0.5
+
+    def test_segment_budget_fallback(self):
+        settings = GovernorSettings(max_segments=10)
+        result = run_governor(1.0, demand_power=30.0, cap=20.0, settings=settings)
+        # Work still completes despite the tiny segment budget.
+        progress = float(np.dot(result.durations, result.frequencies))
+        assert progress == pytest.approx(1.0, rel=1e-9)
+
+
+class TestValidation:
+    def test_rejects_nonpositive_work(self):
+        with pytest.raises(ValueError):
+            run_governor(0.0, 1.0, 1.0)
+
+    def test_rejects_negative_demand(self):
+        with pytest.raises(ValueError):
+            run_governor(1.0, -1.0, 1.0)
+
+    def test_rejects_nonpositive_cap(self):
+        with pytest.raises(ValueError):
+            run_governor(1.0, 1.0, 0.0)
+
+
+@given(
+    work=st.floats(min_value=0.01, max_value=1.0),
+    demand=st.floats(min_value=0.1, max_value=500.0),
+    cap=st.floats(min_value=0.1, max_value=500.0),
+)
+@settings(max_examples=100, deadline=None)
+def test_progress_always_conserved(work, demand, cap):
+    result = run_governor(work, demand, cap)
+    progress = float(np.dot(result.durations, result.frequencies))
+    assert progress == pytest.approx(work, rel=1e-6)
+    assert result.wall_time >= work * (1 - 1e-9)
+
+
+@given(
+    work=st.floats(min_value=0.1, max_value=0.5),
+    ratio=st.floats(min_value=1.05, max_value=20.0),
+)
+@settings(max_examples=100, deadline=None)
+def test_throttled_time_close_to_ideal(work, ratio):
+    """Governed wall time lands near the ideal energy/cap time once the
+    run is long enough to amortise the initial full-speed ramp."""
+    cap = 10.0
+    demand = cap * ratio
+    result = run_governor(work, demand, cap)
+    ideal = work * ratio  # time to push work*demand Joules at cap Watts
+    # The ramp can only make the run *faster* than ideal, never slower
+    # beyond the control-loop undershoot.
+    assert result.wall_time <= ideal * 1.15
+    assert result.wall_time >= min(ideal, work) * 0.99
+    assert result.wall_time == pytest.approx(ideal, rel=0.15)

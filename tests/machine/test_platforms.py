@@ -1,0 +1,146 @@
+"""Tests for the platform registry -- including the crucial check that
+the simulator's ground truth matches the paper's Table I transcription
+in repro.experiments.paper_reference (two independent encodings)."""
+
+import math
+
+import pytest
+
+from repro.experiments.paper_reference import TABLE1
+from repro.machine.platforms import PLATFORM_IDS, all_params, all_platforms, params, platform
+from repro.units import gbps, gflops, maccs, nJ, pJ
+
+
+class TestRegistry:
+    def test_twelve_platforms(self):
+        assert len(PLATFORM_IDS) == 12
+
+    def test_lookup_by_id_and_name(self):
+        assert platform("gtx-titan").name == "GTX Titan"
+        assert platform("GTX Titan").name == "GTX Titan"
+
+    def test_unknown_platform(self):
+        with pytest.raises(KeyError, match="unknown platform"):
+            platform("gtx-9090")
+
+    def test_all_params_shortcut(self):
+        assert params("xeon-phi") is platform("xeon-phi").truth
+        assert set(all_params()) == set(PLATFORM_IDS)
+
+    def test_row_order_matches_table(self):
+        assert list(all_platforms()) == list(PLATFORM_IDS)
+        assert list(TABLE1) == list(PLATFORM_IDS)
+
+    def test_kinds(self):
+        kinds = {pid: cfg.kind for pid, cfg in all_platforms().items()}
+        assert kinds["gtx-titan"] == "gpu"
+        assert kinds["xeon-phi"] == "manycore"
+        assert kinds["desktop-cpu"] == "cpu"
+
+
+@pytest.mark.parametrize("pid", PLATFORM_IDS)
+class TestGroundTruthMatchesPaper:
+    """Every simulator constant equals the independent Table I record."""
+
+    def test_core_parameters(self, pid):
+        cfg = platform(pid)
+        row = TABLE1[pid]
+        truth = cfg.truth
+        assert truth.pi1 == pytest.approx(row.pi1_w)
+        assert truth.delta_pi == pytest.approx(row.delta_pi_w)
+        assert truth.eps_flop == pytest.approx(pJ(row.eps_s_pj))
+        assert truth.eps_mem == pytest.approx(pJ(row.eps_mem_pj))
+        assert truth.peak_flops == pytest.approx(gflops(row.sust_single_gflops))
+        assert truth.peak_bandwidth == pytest.approx(gbps(row.sust_bw_gbps))
+
+    def test_double_precision(self, pid):
+        truth = platform(pid).truth
+        row = TABLE1[pid]
+        if row.eps_d_pj is None:
+            assert truth.eps_flop_double is None
+        else:
+            assert truth.eps_flop_double == pytest.approx(pJ(row.eps_d_pj))
+            assert 1.0 / truth.tau_flop_double == pytest.approx(
+                gflops(row.sust_double_gflops)
+            )
+
+    def test_vendor_peaks(self, pid):
+        cfg = platform(pid)
+        row = TABLE1[pid]
+        assert cfg.vendor.flops_single == pytest.approx(
+            gflops(row.vendor_single_gflops)
+        )
+        assert cfg.vendor.bandwidth == pytest.approx(gbps(row.vendor_bw_gbps))
+
+    def test_cache_levels(self, pid):
+        truth = platform(pid).truth
+        row = TABLE1[pid]
+        caches = truth.cache_by_name
+        if row.eps_l1_pj is None:
+            assert "L1" not in caches
+        else:
+            assert caches["L1"].eps_byte == pytest.approx(pJ(row.eps_l1_pj))
+            assert caches["L1"].bandwidth == pytest.approx(gbps(row.sust_l1_gbps))
+        if row.eps_l2_pj is None:
+            assert "L2" not in caches
+        else:
+            assert caches["L2"].eps_byte == pytest.approx(pJ(row.eps_l2_pj))
+            assert caches["L2"].bandwidth == pytest.approx(gbps(row.sust_l2_gbps))
+
+    def test_random_access(self, pid):
+        truth = platform(pid).truth
+        row = TABLE1[pid]
+        if row.eps_rand_nj is None:
+            assert truth.random is None
+        else:
+            assert truth.random.eps_access == pytest.approx(nJ(row.eps_rand_nj))
+            assert truth.random.rate == pytest.approx(maccs(row.sust_rand_maccs))
+
+    def test_idle_power(self, pid):
+        cfg = platform(pid)
+        row = TABLE1[pid]
+        assert cfg.idle_power == pytest.approx(row.idle_w)
+        assert (cfg.truth.pi1 < cfg.idle_power) == row.pi1_below_idle
+
+    def test_sustained_at_most_vendor_claims(self, pid):
+        cfg = platform(pid)
+        assert cfg.sustained_fraction_flops <= 1.0 + 1e-9
+        assert cfg.sustained_fraction_bandwidth <= 1.0 + 1e-9
+
+
+class TestStructuralProperties:
+    def test_cache_energy_ordering(self, platforms):
+        """eps_L1 <= eps_L2 on every platform modelling both (V-B)."""
+        for cfg in platforms.values():
+            caches = cfg.truth.cache_by_name
+            if "L1" in caches and "L2" in caches:
+                assert caches["L1"].eps_byte <= caches["L2"].eps_byte
+
+    def test_cache_bandwidth_ordering(self, platforms):
+        """Inner levels are faster."""
+        for cfg in platforms.values():
+            caches = cfg.truth.cache_by_name
+            if "L1" in caches and "L2" in caches:
+                assert caches["L1"].bandwidth >= caches["L2"].bandwidth
+
+    def test_dram_resident_working_set_beyond_caches(self, platforms):
+        for cfg in platforms.values():
+            largest = cfg.largest_cache_capacity
+            if largest is not None:
+                assert cfg.dram_resident_working_set >= 8 * largest
+
+    def test_double_no_faster_than_single(self, platforms):
+        for cfg in platforms.values():
+            truth = cfg.truth
+            if truth.tau_flop_double is not None:
+                assert truth.tau_flop_double >= truth.tau_flop
+                assert truth.eps_flop_double >= truth.eps_flop
+
+    def test_max_model_power_positive(self, platforms):
+        for cfg in platforms.values():
+            assert cfg.max_model_power > 0
+            assert math.isfinite(cfg.max_model_power)
+
+    def test_describe_mentions_name(self, platforms):
+        for cfg in platforms.values():
+            assert cfg.name in cfg.describe()

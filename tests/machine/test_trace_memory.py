@@ -1,0 +1,147 @@
+"""Unit tests for repro.machine.trace and repro.machine.memory."""
+
+import numpy as np
+import pytest
+
+from repro.machine.cache import CacheGeometry, CacheHierarchySim
+from repro.machine.memory import Prefetcher, chase_counts, serving_level, stream_traffic
+from repro.machine.platforms import platform
+from repro.machine.trace import (
+    chase_permutation,
+    pointer_chase_trace,
+    stream_trace,
+    strided_trace,
+)
+
+
+class TestStreamTrace:
+    def test_addresses_and_count(self):
+        addrs = stream_trace(256, 64)
+        assert addrs.tolist() == [0, 64, 128, 192]
+
+    def test_passes_tile(self):
+        addrs = stream_trace(128, 64, passes=3)
+        assert len(addrs) == 6
+        assert addrs[2] == 0
+
+    def test_rejects_too_small(self):
+        with pytest.raises(ValueError):
+            stream_trace(32, 64)
+        with pytest.raises(ValueError):
+            stream_trace(0, 64)
+
+
+class TestStridedTrace:
+    def test_stride(self):
+        addrs = strided_trace(512, 128, 64)
+        assert addrs.tolist() == [0, 128, 256, 384]
+
+    def test_rejects_misaligned_stride(self):
+        with pytest.raises(ValueError, match="multiple"):
+            strided_trace(512, 96, 64)
+
+
+class TestChasePermutation:
+    def test_single_cycle_visits_everything(self, rng):
+        n = 257
+        perm = chase_permutation(rng, n)
+        seen = set()
+        slot = 0
+        for _ in range(n):
+            seen.add(slot)
+            slot = perm[slot]
+        assert slot == 0
+        assert len(seen) == n
+
+    def test_is_permutation(self, rng):
+        perm = chase_permutation(rng, 100)
+        assert sorted(perm.tolist()) == list(range(100))
+
+    def test_no_fixed_points(self, rng):
+        # A single cycle of length >= 2 has no self-loops.
+        perm = chase_permutation(rng, 64)
+        assert np.all(perm != np.arange(64))
+
+    def test_rejects_tiny(self, rng):
+        with pytest.raises(ValueError):
+            chase_permutation(rng, 1)
+
+
+class TestPointerChaseTrace:
+    def test_line_aligned(self, rng):
+        addrs = pointer_chase_trace(rng, 4096, 64, 100)
+        assert np.all(addrs % 64 == 0)
+        assert np.all(addrs < 4096)
+
+    def test_covers_working_set(self, rng):
+        addrs = pointer_chase_trace(rng, 4096, 64, 64)
+        assert len(set(addrs.tolist())) == 64  # full cycle, no repeats
+
+    def test_dependent_chain_deterministic_per_seed(self):
+        a = pointer_chase_trace(np.random.default_rng(1), 4096, 64, 50)
+        b = pointer_chase_trace(np.random.default_rng(1), 4096, 64, 50)
+        assert np.array_equal(a, b)
+
+    def test_rejects_invalid(self, rng):
+        with pytest.raises(ValueError):
+            pointer_chase_trace(rng, 64, 64, 10)
+        with pytest.raises(ValueError):
+            pointer_chase_trace(rng, 4096, 64, 0)
+
+
+class TestServingLevel:
+    def test_levels_by_working_set(self):
+        cfg = platform("desktop-cpu")  # L1 32 KiB, L2 256 KiB
+        assert serving_level(cfg, 16 * 1024) == "L1"
+        assert serving_level(cfg, 128 * 1024) == "L2"
+        assert serving_level(cfg, 8 * 1024 * 1024) == "dram"
+
+    def test_platform_without_caches(self):
+        cfg = platform("nuc-gpu")
+        assert serving_level(cfg, 1024) == "dram"
+
+    def test_stream_traffic_charges_one_level(self):
+        cfg = platform("desktop-cpu")
+        traffic = stream_traffic(cfg, 16 * 1024, 1e6)
+        assert traffic == {"L1": 1e6}
+
+    def test_stream_traffic_rejects_zero(self):
+        cfg = platform("desktop-cpu")
+        with pytest.raises(ValueError):
+            stream_traffic(cfg, 1024, 0.0)
+
+    def test_chase_counts(self):
+        cfg = platform("desktop-cpu")
+        level, n = chase_counts(cfg, 64 * 1024 * 1024, 1e5)
+        assert level == "dram"
+        assert n == 1e5
+
+
+class TestPrefetcher:
+    def make(self):
+        h = CacheHierarchySim([CacheGeometry("L1", 4096, 64, 8)])
+        return Prefetcher(h, degree=2), h
+
+    def test_stream_reaches_high_hit_rate(self):
+        pf, _ = self.make()
+        addrs = stream_trace(1 << 16, 64)  # beyond the cache capacity
+        stats = pf.run_trace(addrs)
+        assert stats.hit_rate > 0.9
+        assert stats.prefetches_issued > 0
+
+    def test_chase_gains_nothing(self, rng):
+        pf, _ = self.make()
+        addrs = pointer_chase_trace(rng, 1 << 16, 64, 500)
+        stats = pf.run_trace(addrs)
+        assert stats.hit_rate < 0.1
+
+    def test_rejects_bad_degree(self):
+        h = CacheHierarchySim([CacheGeometry("L1", 4096, 64, 8)])
+        with pytest.raises(ValueError):
+            Prefetcher(h, degree=0)
+
+    def test_hit_rate_requires_accesses(self):
+        pf, _ = self.make()
+        stats = pf.run_trace(np.array([], dtype=np.int64))
+        with pytest.raises(ValueError, match="no demand accesses"):
+            stats.hit_rate

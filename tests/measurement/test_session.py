@@ -1,0 +1,139 @@
+"""Tests for session recording and window detection."""
+
+import numpy as np
+import pytest
+
+from repro.machine.engine import Engine
+from repro.machine.kernel import DRAM, KernelSpec
+from repro.machine.platforms import platform
+from repro.machine.power import PowerTrace
+from repro.measurement.powermon import PowerMon
+from repro.measurement.session import Window, detect_windows, measure_session
+
+
+def synthetic_session(
+    idle: float = 10.0, active: float = 100.0
+) -> tuple[np.ndarray, np.ndarray]:
+    """1 kHz samples: idle [0, 0.1), active [0.1, 0.3), idle, active
+    [0.5, 0.6), idle to 0.8."""
+    times = np.arange(0, 0.8, 1e-3)
+    power = np.full_like(times, idle)
+    power[(times >= 0.1) & (times < 0.3)] = active
+    power[(times >= 0.5) & (times < 0.6)] = active
+    return times, power
+
+
+class TestWindow:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Window(1.0, 1.0)
+
+    def test_overlap(self):
+        a = Window(0.0, 1.0)
+        assert a.overlap(Window(0.5, 2.0)) == pytest.approx(0.5)
+        assert a.overlap(Window(2.0, 3.0)) == 0.0
+
+
+class TestDetectWindows:
+    def test_finds_both_runs(self):
+        times, power = synthetic_session()
+        windows = detect_windows(times, power)
+        assert len(windows) == 2
+        assert windows[0].start == pytest.approx(0.1, abs=0.005)
+        assert windows[0].end == pytest.approx(0.3, abs=0.005)
+        assert windows[1].start == pytest.approx(0.5, abs=0.005)
+
+    def test_all_idle_returns_nothing(self):
+        times = np.arange(0, 0.5, 1e-3)
+        power = np.full_like(times, 10.0)
+        assert detect_windows(times, power) == []
+
+    def test_noise_robustness(self, rng):
+        times, power = synthetic_session()
+        noisy = power * rng.normal(1.0, 0.03, len(power))
+        windows = detect_windows(times, noisy)
+        assert len(windows) == 2
+
+    def test_merge_gap_joins_oscillation(self):
+        """A short dip (governor oscillation) must not split a run."""
+        times = np.arange(0, 0.4, 1e-3)
+        power = np.full_like(times, 10.0)
+        power[(times >= 0.1) & (times < 0.3)] = 100.0
+        power[(times >= 0.19) & (times < 0.20)] = 12.0  # 10 ms dip
+        windows = detect_windows(times, power, merge_gap=0.02)
+        assert len(windows) == 1
+
+    def test_min_duration_filters_glitches(self):
+        times = np.arange(0, 0.4, 1e-3)
+        power = np.full_like(times, 10.0)
+        power[(times >= 0.1) & (times < 0.102)] = 100.0  # 2 ms spike
+        assert detect_windows(times, power, min_duration=0.01) == []
+
+    def test_explicit_threshold(self):
+        times, power = synthetic_session(idle=10.0, active=100.0)
+        windows = detect_windows(times, power, threshold=95.0)
+        assert len(windows) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            detect_windows(np.array([1.0]), np.array([1.0, 2.0]))
+        with pytest.raises(ValueError):
+            detect_windows(np.array([]), np.array([]))
+
+
+class TestSessionEndToEnd:
+    @pytest.fixture(scope="class")
+    def session(self):
+        cfg = platform("gtx-titan")
+        engine = Engine(cfg, rng=np.random.default_rng(1))
+        kernels = [
+            KernelSpec(
+                name=f"k{i}", flops=(2.0 ** i) * 1e9, traffic={DRAM: 1e9}
+            ).scaled(50)
+            for i in range(3)
+        ]
+        return engine.run_session(kernels, idle_gap=0.08)
+
+    def test_session_structure(self, session):
+        assert session.n_runs == 3
+        # Session duration = runs + 4 idle gaps.
+        run_time = sum(r.wall_time for r in session.results)
+        assert session.trace.duration == pytest.approx(
+            run_time + 4 * 0.08, rel=1e-6
+        )
+
+    def test_true_windows_align_with_runs(self, session):
+        for (start, end), result in zip(session.windows, session.results):
+            assert end - start == pytest.approx(result.wall_time, rel=1e-9)
+
+    def test_detection_recovers_true_windows(self, session):
+        measured = measure_session(session.trace)
+        assert measured.n_runs == session.n_runs
+        for reading, (start, end) in zip(measured.windows, session.windows):
+            truth = Window(start, end)
+            overlap = reading.window.overlap(truth)
+            assert overlap / truth.duration > 0.97
+
+    def test_windowed_energy_matches_run_energy(self, session):
+        measured = measure_session(
+            session.trace, powermon=PowerMon(resolution=0.0)
+        )
+        for reading, result in zip(measured.windows, session.results):
+            assert reading.energy == pytest.approx(
+                result.true_energy, rel=0.03
+            )
+
+    def test_idle_estimate(self, session):
+        measured = measure_session(session.trace)
+        assert measured.idle_power == pytest.approx(
+            platform("gtx-titan").idle_power, rel=0.05
+        )
+
+    def test_session_validation(self):
+        engine = Engine(platform("gtx-titan"))
+        with pytest.raises(ValueError):
+            engine.run_session([])
+        with pytest.raises(ValueError):
+            engine.run_session(
+                [KernelSpec(name="k", flops=1e9)], idle_gap=0.0
+            )

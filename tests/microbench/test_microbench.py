@@ -1,0 +1,240 @@
+"""Unit tests for the microbenchmark layer."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.machine.kernel import DRAM
+from repro.machine.platforms import platform
+from repro.microbench.cachebench import cache_sweep, working_set_staircase
+from repro.microbench.intensity import (
+    balanced_intensities,
+    default_intensities,
+    intensity_sweep,
+)
+from repro.microbench.kernels import (
+    cache_kernel,
+    chase_kernel,
+    intensity_kernel,
+    peak_flops_kernel,
+    stream_kernel,
+)
+from repro.microbench.peak import (
+    peak_flops,
+    peak_stream,
+    sustained_bandwidth,
+    sustained_flops,
+)
+from repro.microbench.pointer_chase import chase_sweep, dram_miss_fraction
+from repro.microbench.runner import BenchmarkRunner
+
+
+@pytest.fixture(scope="module")
+def titan_runner():
+    return BenchmarkRunner(platform("gtx-titan"), seed=0, target_duration=0.1)
+
+
+@pytest.fixture(scope="module")
+def clean_runner():
+    """Noise-free runner on the desktop CPU."""
+    return BenchmarkRunner(platform("desktop-cpu"), seed=None, target_duration=0.1)
+
+
+class TestKernelBuilders:
+    def test_intensity_kernel(self):
+        cfg = platform("gtx-titan")
+        k = intensity_kernel(cfg, 4.0)
+        assert k.intensity == pytest.approx(4.0)
+        assert k.dram_bytes > 0
+        assert k.working_set >= 8 * cfg.largest_cache_capacity
+
+    def test_intensity_kernel_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            intensity_kernel(platform("gtx-titan"), 0.0)
+
+    def test_cache_kernel_pins_level(self):
+        cfg = platform("desktop-cpu")
+        k = cache_kernel(cfg, "L1")
+        assert k.traffic == {"L1": pytest.approx(1e6)}
+        assert k.working_set <= cfg.truth.cache_level("L1").capacity
+
+    def test_cache_kernel_unknown_level(self):
+        with pytest.raises(KeyError):
+            cache_kernel(platform("desktop-cpu"), "L9")
+
+    def test_cache_kernel_platform_without_level(self):
+        with pytest.raises(KeyError):
+            cache_kernel(platform("nuc-gpu"), "L1")
+
+    def test_chase_kernel(self):
+        k = chase_kernel(platform("xeon-phi"))
+        assert k.random_accesses > 0
+        assert k.pattern == "random"
+
+    def test_chase_kernel_requires_random_params(self):
+        with pytest.raises(ValueError, match="random-access"):
+            chase_kernel(platform("nuc-gpu"))
+
+    def test_peak_kernels(self):
+        cfg = platform("gtx-titan")
+        pk = peak_flops_kernel(cfg, precision="double")
+        assert pk.flops > 0 and pk.total_bytes == 0
+        sk = stream_kernel(cfg)
+        assert sk.flops == 0 and sk.dram_bytes > 0
+
+
+class TestRunnerCalibration:
+    def test_calibration_hits_target(self, clean_runner):
+        k = intensity_kernel(clean_runner.config, 2.0)
+        obs = clean_runner.execute(k, "intensity")
+        assert obs.wall_time == pytest.approx(0.1, rel=0.05)
+
+    def test_calibration_preserves_intensity(self, clean_runner):
+        k = intensity_kernel(clean_runner.config, 8.0)
+        calibrated = clean_runner.calibrate(k)
+        assert calibrated.intensity == pytest.approx(8.0)
+
+    def test_replicates_distinct_under_noise(self, titan_runner):
+        k = intensity_kernel(titan_runner.config, 1.0)
+        obs = titan_runner.execute_replicates(k, "intensity", 3)
+        times = {o.wall_time for o in obs}
+        assert len(times) == 3
+
+    def test_replicate_count_validated(self, titan_runner):
+        k = intensity_kernel(titan_runner.config, 1.0)
+        with pytest.raises(ValueError):
+            titan_runner.execute_replicates(k, "intensity", 0)
+
+    def test_observation_accessors(self, clean_runner):
+        k = intensity_kernel(clean_runner.config, 2.0)
+        obs = clean_runner.execute(k, "intensity")
+        assert obs.performance == pytest.approx(obs.flops / obs.wall_time)
+        assert obs.intensity == pytest.approx(2.0)
+        assert obs.flops_per_joule > 0
+        assert obs.energy_per_byte > 0
+
+    def test_measured_close_to_model_when_clean(self, clean_runner):
+        from repro.core import model
+
+        truth = clean_runner.config.truth
+        k = intensity_kernel(clean_runner.config, 1.0)
+        obs = clean_runner.execute(k, "intensity")
+        expected_t = float(model.time(truth, obs.flops, obs.dram_bytes))
+        expected_e = float(model.energy(truth, obs.flops, obs.dram_bytes))
+        assert obs.wall_time == pytest.approx(expected_t, rel=0.06)
+        assert obs.energy == pytest.approx(expected_e, rel=0.06)
+
+
+class TestIntensitySweep:
+    def test_grids(self):
+        grid = default_intensities()
+        assert grid[0] == pytest.approx(0.125)
+        assert grid[-1] == pytest.approx(128.0)
+        balanced = balanced_intensities(platform("gtx-titan"))
+        b_tau = platform("gtx-titan").truth.time_balance
+        assert balanced[0] == pytest.approx(b_tau / 32)
+        assert balanced[-1] == pytest.approx(b_tau * 8)
+
+    def test_sweep_counts(self, titan_runner):
+        obs = intensity_sweep(titan_runner, [1.0, 2.0, 4.0], replicates=2)
+        assert len(obs) == 6
+        assert {o.benchmark for o in obs} == {"intensity"}
+
+    def test_double_precision_sweep(self, titan_runner):
+        obs = intensity_sweep(
+            titan_runner, [1.0], replicates=1, precision="double"
+        )
+        assert obs[0].kernel.precision == "double"
+
+    def test_double_rejected_without_support(self):
+        runner = BenchmarkRunner(platform("arndale-gpu"), seed=0)
+        with pytest.raises(ValueError, match="double"):
+            intensity_sweep(runner, [1.0], precision="double")
+
+    def test_empty_grid_rejected(self, titan_runner):
+        with pytest.raises(ValueError):
+            intensity_sweep(titan_runner, [])
+
+
+class TestCacheBench:
+    def test_sweep_covers_modelled_levels(self):
+        runner = BenchmarkRunner(platform("desktop-cpu"), seed=0, target_duration=0.05)
+        results = cache_sweep(runner, replicates=1)
+        assert set(results) == {"L1", "L2"}
+        for level, obs in results.items():
+            assert all(o.benchmark == f"cache:{level}" for o in obs)
+
+    def test_measured_bandwidth_near_level_truth(self):
+        runner = BenchmarkRunner(platform("desktop-cpu"), seed=None, target_duration=0.05)
+        results = cache_sweep(runner, replicates=1)
+        l1 = platform("desktop-cpu").truth.cache_level("L1")
+        measured = results["L1"][0].bandwidth
+        assert measured == pytest.approx(l1.bandwidth, rel=0.1)
+
+    def test_staircase_transitions(self):
+        cfg = platform("desktop-cpu")
+        stairs = working_set_staircase(cfg)
+        by_size = dict((size, level) for size, level, _ in stairs)
+        sizes = sorted(by_size)
+        assert by_size[sizes[0]] == "L1"  # well under 32 KiB
+        assert by_size[sizes[-1]] == "dram"  # far beyond L2
+
+    def test_staircase_requires_capacities(self):
+        with pytest.raises(ValueError):
+            working_set_staircase(platform("nuc-gpu"))
+
+
+class TestPointerChase:
+    def test_chase_sweep(self):
+        runner = BenchmarkRunner(platform("xeon-phi"), seed=0, target_duration=0.05)
+        obs = chase_sweep(runner, replicates=2)
+        assert len(obs) == 2
+        assert all(o.access_rate > 0 for o in obs)
+
+    def test_measured_rate_near_truth(self):
+        runner = BenchmarkRunner(platform("xeon-phi"), seed=None, target_duration=0.05)
+        obs = chase_sweep(runner, replicates=1)[0]
+        assert obs.access_rate == pytest.approx(
+            platform("xeon-phi").truth.random.rate, rel=0.05
+        )
+
+    @pytest.mark.parametrize("pid", ["desktop-cpu", "gtx-titan", "arndale-cpu"])
+    def test_dram_miss_fraction_near_one(self, pid):
+        fraction = dram_miss_fraction(platform(pid), n_accesses=5000)
+        assert fraction > 0.95
+
+    def test_platform_without_capacities_trivially_misses(self):
+        assert dram_miss_fraction(platform("nuc-gpu")) == 1.0
+
+
+class TestPeaks:
+    def test_sustained_flops_close_to_truth(self):
+        runner = BenchmarkRunner(platform("gtx-680"), seed=1, target_duration=0.05)
+        obs = peak_flops(runner, replicates=3)
+        truth = platform("gtx-680").truth.peak_flops
+        assert sustained_flops(obs) == pytest.approx(truth, rel=0.05)
+
+    def test_sustained_bandwidth_close_to_truth(self):
+        runner = BenchmarkRunner(platform("gtx-680"), seed=1, target_duration=0.05)
+        obs = peak_stream(runner, replicates=3)
+        truth = platform("gtx-680").truth.peak_bandwidth
+        assert sustained_bandwidth(obs) == pytest.approx(truth, rel=0.05)
+
+    def test_empty_observations_rejected(self):
+        with pytest.raises(ValueError):
+            sustained_flops([])
+        with pytest.raises(ValueError):
+            sustained_bandwidth([])
+
+    def test_cap_limited_stream_bandwidth(self):
+        """On the APU CPU the cap binds during pure streaming: the
+        sustained bandwidth lands at delta_pi / eps_mem, below the raw
+        tau_mem peak -- the effect behind Table I's 31% figure."""
+        cfg = platform("apu-cpu")
+        runner = BenchmarkRunner(cfg, seed=None, target_duration=0.05)
+        obs = peak_stream(runner, replicates=1)
+        truth = cfg.truth
+        cap_limit = truth.delta_pi / truth.eps_mem
+        assert cap_limit < truth.peak_bandwidth
+        assert sustained_bandwidth(obs) == pytest.approx(cap_limit, rel=0.06)

@@ -1,0 +1,108 @@
+"""Tests for the ASCII log-log chart renderer and its CLI commands."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.report.ascii_plot import AsciiPlot
+
+
+class TestAsciiPlot:
+    def test_basic_render(self):
+        plot = AsciiPlot(title="T", y_label="W")
+        plot.add_series("a", [1.0, 10.0, 100.0], [1.0, 10.0, 100.0])
+        text = plot.render()
+        assert text.startswith("T\n")
+        assert "* a" in text
+        assert "[y: W]" in text
+
+    def test_monotone_series_renders_diagonal(self):
+        plot = AsciiPlot(width=32, height=8)
+        plot.add_series("up", [1, 10, 100], [1, 10, 100])
+        rows = [
+            line.split("|", 1)[1]
+            for line in plot.render().splitlines()
+            if "|" in line
+        ]
+        first_cols = [row.find("*") for row in rows if "*" in row]
+        # Higher y (earlier rows) appears at larger x (later columns).
+        assert first_cols == sorted(first_cols, reverse=True)
+
+    def test_multiple_series_get_distinct_glyphs(self):
+        plot = AsciiPlot()
+        plot.add_series("a", [1, 10], [1, 10])
+        plot.add_series("b", [1, 10], [10, 1])
+        text = plot.render()
+        assert "* a" in text and "o b" in text
+
+    def test_rejects_nonpositive_points(self):
+        plot = AsciiPlot()
+        with pytest.raises(ValueError, match="positive"):
+            plot.add_series("bad", [0.0, 1.0], [1.0, 1.0])
+        with pytest.raises(ValueError, match="positive"):
+            plot.add_series("bad", [1.0, 1.0], [-1.0, 1.0])
+
+    def test_rejects_mismatched_series(self):
+        plot = AsciiPlot()
+        with pytest.raises(ValueError):
+            plot.add_series("bad", [1.0], [1.0, 2.0])
+
+    def test_rejects_empty_render(self):
+        with pytest.raises(ValueError, match="nothing"):
+            AsciiPlot().render()
+
+    def test_rejects_tiny_canvas(self):
+        with pytest.raises(ValueError):
+            AsciiPlot(width=4, height=4)
+
+    def test_degenerate_range_padded(self):
+        plot = AsciiPlot()
+        plot.add_series("flat", [5.0, 5.0], [7.0, 7.0])
+        assert plot.render()  # must not divide by zero
+
+    def test_tick_formatting(self):
+        assert AsciiPlot._fmt_tick(0.125) == "0.125"
+        assert AsciiPlot._fmt_tick(1.6e10) == "1.6e+10"
+        assert AsciiPlot._fmt_tick(0) == "0"
+
+    def test_dimensions(self):
+        plot = AsciiPlot(width=40, height=10, title="t")
+        plot.add_series("a", [1, 100], [1, 100])
+        lines = plot.render().splitlines()
+        body = [line for line in lines if "|" in line]
+        assert len(body) == 10
+        for line in body:
+            assert len(line.split("|", 1)[1]) <= 40
+
+
+class TestPlotCommands:
+    def test_roofline(self, capsys):
+        assert main(["roofline", "gtx-680", "--metric", "power"]) == 0
+        out = capsys.readouterr().out
+        assert "capped" in out and "uncapped" in out
+        assert "|" in out
+
+    def test_compare(self, capsys):
+        assert main(["compare", "gtx-titan", "arndale-gpu"]) == 0
+        out = capsys.readouterr().out
+        assert "gtx-titan" in out and "arndale-gpu" in out
+        assert "flop/J" in out
+
+    def test_roofline_validates_platform(self):
+        with pytest.raises(SystemExit):
+            main(["roofline", "cray-1"])
+
+
+class TestScatterMode:
+    def test_scatter_places_only_given_points(self):
+        plot = AsciiPlot(width=32, height=8)
+        plot.add_series("line", [1, 1000], [1, 1000])
+        plot.add_series("dots", [1, 1000], [1000, 1], scatter=True)
+        body = [
+            line.split("|", 1)[1]
+            for line in plot.render().splitlines()
+            if "|" in line
+        ]
+        dots = sum(row.count("o") for row in body)
+        # Exactly the two scatter points (unless one is overdrawn).
+        assert 1 <= dots <= 2

@@ -1,0 +1,86 @@
+"""Tests for the archline CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_validates_experiment_ids(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig99"])
+
+    def test_platform_validates_ids(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["platform", "cray-1"])
+
+    def test_quick_flag(self):
+        args = build_parser().parse_args(["run", "vd", "--quick"])
+        assert args.quick
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "gtx-titan" in out
+        assert "table1" in out
+
+    def test_platform(self, capsys):
+        assert main(["platform", "xeon-phi"]) == 0
+        out = capsys.readouterr().out
+        assert "time balance" in out
+        assert "Xeon Phi" in out
+
+    def test_run_cheap_experiment(self, capsys):
+        code = main(["run", "vd"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Power throttling" in out
+        assert "PASS" in out
+
+    def test_run_multiple(self, capsys):
+        code = main(["run", "vc", "vd"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "vc:" in out and "vd:" in out
+
+    def test_bench_platform(self, capsys):
+        assert main(["bench", "arndale-gpu", "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "delta_pi" in out
+        assert "Arndale GPU" in out
+
+    def test_audit(self, capsys):
+        assert main(["audit"]) == 0
+        out = capsys.readouterr().out
+        assert "internal-consistency audit" in out
+        assert "INCONSISTENT" in out
+
+    def test_export(self, capsys, tmp_path):
+        assert main(["export", "--outdir", str(tmp_path / "a")]) == 0
+        out = capsys.readouterr().out
+        assert "claims.csv" in out
+        assert (tmp_path / "a" / "fig1.csv").exists()
+
+    def test_roofline_and_compare_registered(self):
+        parser = build_parser()
+        args = parser.parse_args(["roofline", "gtx-titan"])
+        assert args.metric == "performance"
+        args = parser.parse_args(["compare", "gtx-titan", "arndale-gpu"])
+        assert args.metric == "flops_per_joule"
+
+    def test_algorithms(self, capsys):
+        assert main(["algorithms", "--platform", "xeon-phi"]) == 0
+        out = capsys.readouterr().out
+        assert "matmul" in out and "best platform" in out
+
+    def test_uncertainty(self, capsys):
+        assert main(["uncertainty", "arndale-gpu", "--seeds", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Fit uncertainty" in out
+        assert "delta_pi" in out

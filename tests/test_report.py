@@ -1,0 +1,142 @@
+"""Unit tests for the report package and the units helpers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.report.compare import (
+    Claim,
+    claim_close,
+    claim_true,
+    fraction_passing,
+    rel_deviation,
+    render_claims,
+)
+from repro.report.series import log2_label, series_table, sparkline
+from repro.report.tables import Table, fmt_num, fmt_pct, fmt_si
+
+
+class TestUnits:
+    def test_round_trips(self):
+        assert units.to_pJ(units.pJ(371.0)) == pytest.approx(371.0)
+        assert units.to_nJ(units.nJ(5.11)) == pytest.approx(5.11)
+        assert units.to_gflops(units.gflops(99.4)) == pytest.approx(99.4)
+        assert units.to_gbps(units.gbps(19.1)) == pytest.approx(19.1)
+        assert units.to_maccs(units.maccs(149.0)) == pytest.approx(149.0)
+
+    def test_throughput_cost_inverses(self):
+        assert units.throughput_to_cost(4e12) == pytest.approx(2.5e-13)
+        assert units.cost_to_throughput(2.5e-13) == pytest.approx(4e12)
+        with pytest.raises(ValueError):
+            units.throughput_to_cost(0.0)
+        with pytest.raises(ValueError):
+            units.cost_to_throughput(-1.0)
+
+    def test_format_si(self):
+        assert units.format_si(4.02e12, "flop/s") == "4.02 Tflop/s"
+        assert units.format_si(0.0, "W") == "0 W"
+        assert units.format_si(30.4e-12, "J") == "30.4 pJ"
+
+
+class TestTable:
+    def test_render_alignment(self):
+        t = Table(columns=["name", "value"])
+        t.add_row("a", 1)
+        t.add_row("bb", 22)
+        lines = t.render().splitlines()
+        assert lines[0].startswith("name")
+        assert lines[-1].endswith("22")
+
+    def test_wrong_cell_count(self):
+        t = Table(columns=["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row(1)
+
+    def test_title_and_extend(self):
+        t = Table(columns=["x"], title="T")
+        t.extend([[1], [2]])
+        assert t.render().startswith("T\n")
+        assert len(t.rows) == 2
+
+    def test_align_validation(self):
+        t = Table(columns=["a", "b"], align="l")
+        t.add_row(1, 2)
+        with pytest.raises(ValueError):
+            t.render()
+
+    def test_fmt_helpers(self):
+        assert fmt_num(None) == "-"
+        assert fmt_num(0) == "0"
+        assert fmt_num(math.inf) == "inf"
+        assert fmt_si(4.02e12) == "4.02T"
+        assert fmt_si(5.11e-9, "J") == "5.11nJ"
+        assert fmt_si(None) == "-"
+        assert fmt_pct(0.83) == "83%"
+        assert fmt_pct(None) == "-"
+
+
+class TestSeries:
+    def test_log2_label(self):
+        assert log2_label(0.125) == "1/8"
+        assert log2_label(256.0) == "256"
+        assert log2_label(1.0) == "1"
+        assert log2_label(3.0) == "3"
+        with pytest.raises(ValueError):
+            log2_label(0.0)
+
+    def test_sparkline_monotone(self):
+        line = sparkline([1, 10, 100, 1000])
+        assert line[0] == "▁" and line[-1] == "█"
+        assert len(line) == 4
+
+    def test_sparkline_flat(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_sparkline_validation(self):
+        with pytest.raises(ValueError):
+            sparkline([])
+        with pytest.raises(ValueError):
+            sparkline([1.0, -1.0])
+        assert sparkline([1.0, -1.0], log=False)  # linear mode allows it
+
+    def test_series_table(self):
+        text = series_table(
+            [0.5, 1.0, 2.0],
+            {"perf": [1e9, 2e9, 4e9]},
+            unit_by_name={"perf": "flop/s"},
+        )
+        assert "1/2" in text
+        assert "4Gflop/s" in text
+
+    def test_series_length_mismatch(self):
+        with pytest.raises(ValueError):
+            series_table([1.0], {"x": [1.0, 2.0]})
+
+
+class TestClaims:
+    def test_claim_close_pass_and_fail(self):
+        assert claim_close("x", 10.0, 10.5).ok
+        assert not claim_close("x", 10.0, 20.0).ok
+        assert claim_close("x", 0.0, 0.1).ok
+
+    def test_claim_true(self):
+        c = claim_true("n", "p", "o", True, "d")
+        assert c.ok and c.detail == "d"
+
+    def test_render_claims(self):
+        text = render_claims(
+            [claim_true("a", "p", "o", True), claim_true("b", "p", "o", False)]
+        )
+        assert "PASS" in text and "DIVERGES" in text
+
+    def test_fraction_passing(self):
+        assert fraction_passing([]) == 1.0
+        claims = [claim_true("a", "", "", True), claim_true("b", "", "", False)]
+        assert fraction_passing(claims) == 0.5
+
+    def test_rel_deviation(self):
+        assert rel_deviation(10.0, 12.0) == pytest.approx(0.2)
+        assert rel_deviation(0.0, 0.0) == 0.0
+        assert math.isinf(rel_deviation(0.0, 1.0))
