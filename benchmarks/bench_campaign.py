@@ -1,0 +1,93 @@
+"""Benchmark: vectorised batch engine vs the scalar reference path.
+
+The batch engine exists to make large sweeps cheap: one
+``Engine.run_batch`` call replaces a Python-level loop over
+``Engine.run``.  This harness times both on an identical 1000-point
+intensity sweep, asserts the batch path is at least 3x faster, and
+re-checks bit-for-bit agreement on the benchmarked grid.  A second
+bench times a small parallel campaign through ``CampaignRunner`` and
+records its counters.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.machine.engine import Engine
+from repro.machine.platforms import platform
+from repro.microbench.campaign import CampaignRunner
+from repro.microbench.kernels import intensity_kernel
+
+N_POINTS = 1000
+MIN_SPEEDUP = 3.0
+
+
+def _sweep_kernels(config):
+    grid = np.geomspace(1.0 / 8.0, 512.0, N_POINTS)
+    return [
+        intensity_kernel(config, float(intensity)) for intensity in grid
+    ]
+
+
+def test_batch_vs_scalar_speedup(benchmark):
+    """run_batch must beat the per-kernel loop by >= 3x on 1k points."""
+    config = platform("gtx-titan")
+    engine = Engine(config)  # noise-free: the pure vectorisable path
+    kernels = _sweep_kernels(config)
+
+    # Warm both paths once so import/JIT-cache costs don't skew either.
+    engine.run(kernels[0])
+    engine.run_batch(kernels[:2])
+
+    started = time.perf_counter()
+    scalar = [engine.run(kernel) for kernel in kernels]
+    scalar_seconds = time.perf_counter() - started
+
+    def batch_once():
+        return engine.run_batch(kernels)
+
+    result = benchmark.pedantic(batch_once, rounds=3, iterations=1)
+    batch_seconds = benchmark.stats.stats.min
+
+    speedup = scalar_seconds / batch_seconds
+    benchmark.extra_info["points"] = N_POINTS
+    benchmark.extra_info["scalar_seconds"] = round(scalar_seconds, 4)
+    benchmark.extra_info["speedup"] = round(speedup, 1)
+    assert speedup >= MIN_SPEEDUP, (
+        f"batch path only {speedup:.1f}x faster than scalar "
+        f"({batch_seconds:.4f}s vs {scalar_seconds:.4f}s)"
+    )
+
+    # The speed must not come at the cost of agreement: noise-off batch
+    # results are bit-for-bit equal to the scalar oracle.
+    assert np.array_equal(
+        result.wall_times, np.array([r.wall_time for r in scalar])
+    )
+    assert np.array_equal(
+        result.energies, np.array([r.true_energy for r in scalar])
+    )
+
+
+def test_parallel_campaign(benchmark):
+    """A 4-platform quick campaign through the process pool."""
+    runner = CampaignRunner(
+        ("gtx-titan", "xeon-phi", "arndale-gpu", "nuc-gpu"),
+        seed=2014,
+        max_workers=4,
+        replicates=1,
+        points_per_octave=2,
+        target_duration=0.1,
+        include_double=False,
+    )
+    fits = benchmark.pedantic(runner.run, rounds=1, iterations=1)
+    assert set(fits) == set(runner.platform_ids)
+    report = runner.report
+    assert report is not None
+    benchmark.extra_info["runs"] = report.n_runs
+    benchmark.extra_info["parallel_efficiency"] = round(
+        report.parallel_efficiency, 2
+    )
+    for shard in report.shards:
+        assert shard.calibration_hits > 0

@@ -13,6 +13,9 @@ Commands
 ``archline bench <platform-id>``
     Run the microbenchmark campaign on one platform and print the
     fitted vs ground-truth parameters.
+``archline campaign [platform-id ...] [--workers N]``
+    Run the full per-platform campaigns through the parallel
+    ``CampaignRunner`` and print per-shard timing/calibration counters.
 ``archline audit``
     Check the paper's own numbers against each other (Table I vs the
     Fig. 5 annotations, etc.).
@@ -43,6 +46,13 @@ from .report.tables import Table, fmt_num, fmt_pct, fmt_si
 __all__ = ["main", "build_parser"]
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``archline`` argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -66,6 +76,14 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument(
         "--quick", action="store_true", help="smaller campaigns (smoke run)"
     )
+    run_p.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="run campaigns through the parallel CampaignRunner with N "
+        "worker processes (default: sequential reference path)",
+    )
 
     sub.add_parser("all", help="run every experiment")
 
@@ -77,6 +95,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_p.add_argument("platform_id", choices=list(PLATFORM_IDS))
     bench_p.add_argument("--seed", type=int, default=2014)
+
+    camp_p = sub.add_parser(
+        "campaign",
+        help="run per-platform campaigns in parallel and report counters",
+    )
+    # No ``choices`` here: argparse validates the empty default of a
+    # ``nargs="*"`` positional against them.  Checked in the handler.
+    camp_p.add_argument(
+        "platform_ids",
+        nargs="*",
+        metavar="PLATFORM",
+        help=f"platforms to shard over (default: all); "
+        f"one of: {', '.join(PLATFORM_IDS)}",
+    )
+    camp_p.add_argument("--seed", type=int, default=2014)
+    camp_p.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="process-pool width (default: one per platform, capped at "
+        "the CPU count)",
+    )
+    camp_p.add_argument(
+        "--quick", action="store_true", help="smaller campaigns (smoke run)"
+    )
 
     sub.add_parser(
         "audit", help="internal-consistency audit of the paper's own numbers"
@@ -210,6 +254,56 @@ def _cmd_bench(platform_id: str, seed: int) -> str:
     return table.render()
 
 
+def _cmd_campaign(
+    platform_ids: list[str], seed: int, workers: int | None, quick: bool
+) -> str:
+    from .microbench.campaign import CampaignRunner
+
+    unknown = [p for p in platform_ids if p not in PLATFORM_IDS]
+    if unknown:
+        raise SystemExit(
+            f"archline campaign: unknown platform(s) {', '.join(unknown)}; "
+            f"choose from {', '.join(PLATFORM_IDS)}"
+        )
+    settings = CampaignSettings(seed=seed)
+    if quick:
+        settings = settings.scaled_down()
+    runner = CampaignRunner(
+        tuple(platform_ids) if platform_ids else None,
+        seed=settings.seed,
+        max_workers=workers,
+        replicates=settings.replicates,
+        points_per_octave=settings.points_per_octave,
+        target_duration=settings.target_duration,
+        include_double=settings.include_double,
+        include_cache=settings.include_cache,
+        include_chase=settings.include_chase,
+    )
+    fits = runner.run()
+    report = runner.report
+    assert report is not None
+    table = Table(
+        columns=["platform", "runs", "cal hit rate", "shard time",
+                 "tau_flop dev"],
+        title=f"Campaign: {len(fits)} platforms, {report.workers} workers, "
+        f"{report.wall_seconds:.2f}s wall "
+        f"(efficiency {fmt_pct(report.parallel_efficiency)})",
+    )
+    for shard in report.shards:
+        fit = fits[shard.platform_id]
+        dev = (
+            fit.capped.params.tau_flop - fit.truth.tau_flop
+        ) / fit.truth.tau_flop
+        table.add_row(
+            shard.platform_id,
+            str(shard.n_runs),
+            fmt_pct(shard.calibration_hit_rate),
+            f"{shard.wall_seconds:.2f}s",
+            f"{dev:+.1%}",
+        )
+    return table.render()
+
+
 _METRIC_UNITS = {
     "performance": "flop/s",
     "flops_per_joule": "flop/J",
@@ -299,6 +393,11 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "bench":
         print(_cmd_bench(args.platform_id, args.seed))
         return 0
+    if args.command == "campaign":
+        print(
+            _cmd_campaign(args.platform_ids, args.seed, args.workers, args.quick)
+        )
+        return 0
     if args.command == "audit":
         from .experiments.audit import render_audit
 
@@ -345,7 +444,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         if any(EXPERIMENTS[eid].needs_campaigns for eid in args.experiments):
             from .experiments.common import run_all_fits
 
-            fits = run_all_fits(settings)
+            fits = run_all_fits(settings, max_workers=args.workers)
         ok = True
         for eid in args.experiments:
             result = run_experiment(eid, fits=fits, settings=settings)

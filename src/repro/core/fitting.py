@@ -111,6 +111,19 @@ class FitObservations:
                 arr = None
             object.__setattr__(self, "random_accesses", arr)
 
+    # The MappingProxyType wrapper cannot be pickled, and fit inputs
+    # cross process boundaries inside parallel-campaign shard results.
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state["cache_traffic"] = dict(self.cache_traffic)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        state = dict(state)
+        state["cache_traffic"] = MappingProxyType(dict(state["cache_traffic"]))
+        self.__dict__.update(state)
+
     @property
     def n(self) -> int:
         return len(self.W)

@@ -4,6 +4,19 @@ Table I and Fig. 4 both consume the full per-platform microbenchmark
 campaigns; running them once and sharing the fits keeps the experiment
 modules declarative.  ``CampaignSettings`` scales campaign size down
 for quick runs (benchmarks) and up for higher-fidelity reproduction.
+
+Two execution paths produce the fits:
+
+* the **sequential reference path** (``max_workers=None``): every
+  platform's campaign runs in this process with ``settings.seed``
+  directly -- bit-identical to what the repo has always produced, and
+  the oracle the parallel path is checked against;
+* the **parallel path** (``max_workers`` given): platforms are
+  sharded across a process pool by
+  :class:`repro.microbench.campaign.CampaignRunner`, each shard
+  running on its own child seed spawned from ``settings.seed`` (so
+  the result is independent of worker count, though the spawned seeds
+  differ from the sequential path's shared seed).
 """
 
 from __future__ import annotations
@@ -13,6 +26,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..machine.platforms import PLATFORM_IDS, platform
+from ..microbench.campaign import CampaignRunner
 from ..microbench.intensity import balanced_intensities
 from ..microbench.suite import FittedPlatform, fit_campaign, run_campaign
 
@@ -70,7 +84,29 @@ def run_platform_fit(
 def run_all_fits(
     settings: CampaignSettings | None = None,
     platform_ids: tuple[str, ...] | None = None,
+    *,
+    max_workers: int | None = None,
 ) -> dict[str, FittedPlatform]:
-    """Run and fit campaigns for every (or the given) platform."""
+    """Run and fit campaigns for every (or the given) platform.
+
+    ``max_workers=None`` keeps the sequential reference path;
+    any integer (including 1) routes through the parallel
+    :class:`~repro.microbench.campaign.CampaignRunner` with spawned
+    per-shard seeds -- reproducible for any worker count.
+    """
     ids = platform_ids if platform_ids is not None else PLATFORM_IDS
-    return {pid: run_platform_fit(pid, settings) for pid in ids}
+    if max_workers is None:
+        return {pid: run_platform_fit(pid, settings) for pid in ids}
+    settings = settings or CampaignSettings()
+    runner = CampaignRunner(
+        ids,
+        seed=settings.seed,
+        max_workers=max_workers,
+        replicates=settings.replicates,
+        points_per_octave=settings.points_per_octave,
+        target_duration=settings.target_duration,
+        include_double=settings.include_double,
+        include_cache=settings.include_cache,
+        include_chase=settings.include_chase,
+    )
+    return runner.run()

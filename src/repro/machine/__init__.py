@@ -17,7 +17,7 @@ from .cache import (
     hierarchy_from_level_params,
 )
 from .config import PlatformConfig, PlatformEffects, VendorPeaks, smooth_max
-from .engine import Engine, RunResult, SessionResult
+from .engine import BatchResult, Engine, RunResult, SessionResult
 from .governor import GovernorResult, GovernorSettings, run_governor
 from .kernel import DRAM, KernelSpec
 from .memory import Prefetcher, PrefetchStats, chase_counts, serving_level, stream_traffic
@@ -38,6 +38,7 @@ __all__ = [
     "PlatformEffects",
     "VendorPeaks",
     "smooth_max",
+    "BatchResult",
     "Engine",
     "RunResult",
     "SessionResult",

@@ -22,6 +22,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from ..core.params import MachineParams
 from .governor import GovernorSettings
 from .noise import NoiseSpec
@@ -161,18 +163,39 @@ class PlatformConfig:
         )
 
 
-def smooth_max(a: float, b: float, smoothing: float) -> float:
+def smooth_max(a, b, smoothing: float):
     """The p-norm ridge used by the engine: ``(a^p + b^p)^(1/p)`` with
     ``p = 1/smoothing``; ``smoothing = 0`` gives the exact max.
 
     Always >= max(a, b), approaching it as smoothing -> 0; equals
     ``2**smoothing * a`` when ``a == b`` (the rounded knee).
+
+    Accepts scalars or NumPy arrays (broadcast elementwise; scalars in
+    give a float out).  The naive ``(a^p + b^p)^(1/p)`` overflows for
+    large components and hits ``0/0`` for all-zero ones, so the ridge
+    is evaluated with the max factored out::
+
+        m * (1 + (min/max)^p)^smoothing
+
+    where the ratio lies in ``[0, 1]``: ``ratio^p`` can only underflow
+    (to the exact hard max, the correct limit), never overflow, and the
+    outer base lies in ``[1, 2]``.  Degenerate inputs stay exact: both
+    components zero gives 0, ``smoothing`` small enough that ``p``
+    overflows to ``inf`` gives the hard max (times ``2^smoothing`` at
+    the knee), and pure-streaming kernels (one component exactly zero)
+    give the non-zero component with no rounding.
     """
+    if smoothing < 0.0:
+        raise ValueError(f"smoothing must be non-negative, got {smoothing!r}")
+    a_arr = np.asarray(a, dtype=float)
+    b_arr = np.asarray(b, dtype=float)
+    scalar = a_arr.ndim == 0 and b_arr.ndim == 0
+    m = np.maximum(a_arr, b_arr)
     if smoothing == 0.0:
-        return max(a, b)
-    if a == 0.0 and b == 0.0:
-        return 0.0
+        return float(m) if scalar else m
+    lo = np.minimum(a_arr, b_arr)
     p = 1.0 / smoothing
-    m = max(a, b)
-    # Factor out the max for numerical stability at large p.
-    return m * ((a / m) ** p + (b / m) ** p) ** smoothing
+    with np.errstate(divide="ignore", invalid="ignore", under="ignore"):
+        ratio = np.divide(lo, m, out=np.zeros_like(m), where=m > 0.0)
+        out = m * np.power(1.0 + np.power(ratio, p), smoothing)
+    return float(out) if scalar else out

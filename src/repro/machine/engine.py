@@ -20,12 +20,24 @@ Everything above the closed-form model of :mod:`repro.core.model` is a
 *second-order effect*: with effects and noise disabled the engine's
 time and energy agree with the capped model to within the governor's
 discretisation, a property the integration tests assert.
+
+``Engine.run_batch`` executes a whole sweep at once.  Steps 1-3 (and
+the cap check) are pure elementwise arithmetic, so they are evaluated
+as NumPy array operations over the full batch; only runs whose dynamic
+power actually exceeds the cap fall back to the scalar governor loop,
+and enabling noise falls back to per-kernel :meth:`Engine.run` so the
+generator consumes draws in exactly the sequential order.  The scalar
+path routes through the *same* vectorised helpers (on length-1
+batches), so with noise disabled ``run_batch`` agrees with ``run``
+bit-for-bit per kernel -- the property ``tests/machine/test_batch.py``
+asserts and ``benchmarks/bench_campaign.py`` measures the speedup of.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping, Sequence
 
 import numpy as np
 
@@ -36,7 +48,7 @@ from .kernel import DRAM, KernelSpec
 from .noise import apply_trace_noise, insert_stalls, lognormal_factor, sample_stalls
 from .power import PowerTrace
 
-__all__ = ["RunResult", "SessionResult", "Engine"]
+__all__ = ["RunResult", "BatchResult", "SessionResult", "Engine"]
 
 
 @dataclass(frozen=True)
@@ -67,6 +79,80 @@ class RunResult:
 
 
 @dataclass(frozen=True)
+class BatchResult:
+    """Ground truth of a whole batch of kernel executions.
+
+    The per-run quantities live in aligned arrays so downstream sweeps
+    can stay vectorised; ``result(i)``/``results()`` materialise the
+    equivalent :class:`RunResult` records (building the single-segment
+    power trace of unthrottled noise-free runs lazily -- throttled and
+    noisy runs keep the trace their governor/noise path produced).
+    """
+
+    kernels: tuple[KernelSpec, ...]
+    wall_times: np.ndarray  #: seconds per kernel.
+    energies: np.ndarray  #: exact trace integrals, Joules.
+    avg_powers: np.ndarray  #: exact average powers, Watts.
+    ideal_times: np.ndarray  #: capped closed-form times, seconds.
+    throttled: np.ndarray  #: bool per kernel: did the governor act?
+    #: Constant total power of each unthrottled noise-free run (W);
+    #: entries with an explicit trace are ignored.
+    segment_powers: np.ndarray = field(repr=False)
+    #: Traces that could not stay implicit (throttled or noisy runs).
+    traces: Mapping[int, PowerTrace] = field(default_factory=dict, repr=False)
+
+    def __len__(self) -> int:
+        return len(self.kernels)
+
+    @property
+    def n_throttled(self) -> int:
+        return int(np.count_nonzero(self.throttled))
+
+    def trace(self, i: int) -> PowerTrace:
+        """The i-th run's power trace (constant-power runs are built
+        on demand, identically to what the scalar path constructs)."""
+        stored = self.traces.get(int(i))
+        if stored is not None:
+            return stored
+        return PowerTrace.constant(
+            float(self.segment_powers[i]), float(self.wall_times[i])
+        )
+
+    def result(self, i: int) -> RunResult:
+        """Materialise the i-th run as a :class:`RunResult`."""
+        return RunResult(
+            kernel=self.kernels[i],
+            wall_time=float(self.wall_times[i]),
+            trace=self.trace(i),
+            throttled=bool(self.throttled[i]),
+            ideal_time=float(self.ideal_times[i]),
+        )
+
+    def results(self) -> list[RunResult]:
+        """All runs as :class:`RunResult` records, in batch order."""
+        return [self.result(i) for i in range(len(self))]
+
+    def __iter__(self) -> Iterator[RunResult]:
+        return iter(self.results())
+
+    @classmethod
+    def from_results(
+        cls, kernels: tuple[KernelSpec, ...], results: Sequence[RunResult]
+    ) -> "BatchResult":
+        """Wrap per-kernel scalar results (the noise fallback path)."""
+        return cls(
+            kernels=kernels,
+            wall_times=np.array([r.wall_time for r in results]),
+            energies=np.array([r.true_energy for r in results]),
+            avg_powers=np.array([r.true_avg_power for r in results]),
+            ideal_times=np.array([r.ideal_time for r in results]),
+            throttled=np.array([r.throttled for r in results], dtype=bool),
+            segment_powers=np.zeros(len(results)),
+            traces={i: r.trace for i, r in enumerate(results)},
+        )
+
+
+@dataclass(frozen=True)
 class SessionResult:
     """A whole recorded campaign session: runs separated by idle.
 
@@ -82,6 +168,37 @@ class SessionResult:
     @property
     def n_runs(self) -> int:
         return len(self.results)
+
+
+@dataclass(frozen=True)
+class _BatchInputs:
+    """Kernel work terms gathered into aligned arrays.
+
+    ``volumes`` is keyed by level name in the platform's canonical
+    order (DRAM first, then caches as configured); absent levels hold
+    zeros, so the per-level sums below accumulate in the same order for
+    every kernel -- which is what makes the scalar and batch paths
+    bit-for-bit identical.
+    """
+
+    kernels: tuple[KernelSpec, ...]
+    flops: np.ndarray
+    volumes: dict[str, np.ndarray]
+    random_accesses: np.ndarray
+    tau_flop: np.ndarray
+    eps_flop: np.ndarray
+
+
+@dataclass(frozen=True)
+class _BatchPhysics:
+    """Deterministic per-kernel physics, vectorised over a batch."""
+
+    t_flop: np.ndarray
+    t_mem: np.ndarray
+    base_time: np.ndarray  #: ridge-rounded overlap time, seconds.
+    dyn_energy: np.ndarray  #: utilisation-scaled dynamic energy, J.
+    demand: np.ndarray  #: full-speed dynamic power, W.
+    ideal_time: np.ndarray  #: capped closed-form time, seconds.
 
 
 class Engine:
@@ -104,6 +221,12 @@ class Engine:
         self.config = config
         self.rng = rng
         self._level_costs = self._build_level_costs()
+        #: Canonical accumulation order for per-level sums: DRAM first,
+        #: then caches as the platform declares them.  Both the scalar
+        #: and batch paths sum in this order.
+        self._level_order = (DRAM,) + tuple(
+            level.name for level in config.truth.caches
+        )
 
     def _build_level_costs(self) -> dict[str, tuple[float, float]]:
         """Per-level ``(tau_byte, eps_byte)`` including DRAM."""
@@ -114,8 +237,127 @@ class Engine:
         return costs
 
     # ------------------------------------------------------------------
-    # Deterministic physics.
+    # Deterministic physics (shared by the scalar and batch paths).
     # ------------------------------------------------------------------
+
+    def _gather(self, kernels: Sequence[KernelSpec]) -> _BatchInputs:
+        """Validate a batch and gather its work terms into arrays.
+
+        This is the *single* place kernel demands are checked against
+        the platform: unknown traffic levels and random accesses on a
+        platform without random-access parameters are rejected here, so
+        neither guard can be dropped by one of the consumers
+        (component times, dynamic energy, the cap check).
+        """
+        if not kernels:
+            raise ValueError("need at least one kernel")
+        truth = self.config.truth
+        for kernel in kernels:
+            for level in kernel.traffic:
+                if level not in self._level_costs:
+                    raise KeyError(
+                        f"platform {truth.name!r} has no level {level!r}; "
+                        f"available: {sorted(self._level_costs)}"
+                    )
+        random_accesses = np.array([k.random_accesses for k in kernels])
+        if truth.random is None and np.any(random_accesses > 0.0):
+            offender = next(k for k in kernels if k.random_accesses > 0.0)
+            raise ValueError(
+                f"platform {truth.name!r} has no random-access parameters "
+                f"(kernel {offender.name!r} performs dependent accesses)"
+            )
+        costs = {
+            precision: flop_costs(truth, precision)
+            for precision in {k.precision for k in kernels}
+        }
+        return _BatchInputs(
+            kernels=tuple(kernels),
+            flops=np.array([k.flops for k in kernels]),
+            volumes={
+                level: np.array([k.traffic.get(level, 0.0) for k in kernels])
+                for level in self._level_order
+            },
+            random_accesses=random_accesses,
+            tau_flop=np.array([costs[k.precision][0] for k in kernels]),
+            eps_flop=np.array([costs[k.precision][1] for k in kernels]),
+        )
+
+    def _batch_component_times(
+        self, batch: _BatchInputs
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorised ``(flop_time, memory_time)`` at full speed."""
+        truth = self.config.truth
+        t_flop = batch.flops * batch.tau_flop
+        t_mem = np.zeros(len(batch.kernels))
+        for level in self._level_order:
+            tau, _ = self._level_costs[level]
+            t_mem = t_mem + batch.volumes[level] * tau
+        if truth.random is not None:
+            t_mem = t_mem + batch.random_accesses * truth.random.tau_access
+        return t_flop, t_mem
+
+    def _energy_sum(self, batch: _BatchInputs, g_flop, g_mem) -> np.ndarray:
+        """Per-level energy accumulation, the one copy of the sum.
+
+        ``g_flop``/``g_mem`` are the utilisation scaling factors
+        (scalars or per-kernel arrays); pass 1.0 for the raw unscaled
+        dynamic energy the cap check uses.
+        """
+        truth = self.config.truth
+        energy = batch.flops * batch.eps_flop * g_flop
+        for level in self._level_order:
+            _, eps = self._level_costs[level]
+            energy = energy + batch.volumes[level] * eps * g_mem
+        if truth.random is not None:
+            energy = energy + (
+                batch.random_accesses * truth.random.eps_access * g_mem
+            )
+        return energy
+
+    def _batch_physics(self, batch: _BatchInputs) -> _BatchPhysics:
+        """Everything deterministic, vectorised over the batch."""
+        truth = self.config.truth
+        effects = self.config.effects
+        t_flop, t_mem = self._batch_component_times(batch)
+        base = smooth_max(t_flop, t_mem, effects.ridge_smoothing)
+        base = np.asarray(base)
+
+        slope = effects.utilisation_energy_slope
+        if slope > 0.0:
+            positive = base > 0.0
+            with np.errstate(divide="ignore", invalid="ignore"):
+                u_flop = np.minimum(
+                    1.0, np.divide(t_flop, base, out=np.ones_like(base), where=positive)
+                )
+                u_mem = np.minimum(
+                    1.0, np.divide(t_mem, base, out=np.ones_like(base), where=positive)
+                )
+            g_flop = np.where(positive, 1.0 - slope * (1.0 - u_flop), 1.0)
+            g_mem = np.where(positive, 1.0 - slope * (1.0 - u_mem), 1.0)
+        else:
+            g_flop = g_mem = 1.0
+        dyn_energy = self._energy_sum(batch, g_flop, g_mem)
+
+        with np.errstate(divide="ignore", invalid="ignore"):
+            demand = np.divide(
+                dyn_energy, base, out=np.zeros_like(base), where=base > 0.0
+            )
+
+        ideal = np.maximum(t_flop, t_mem)
+        if truth.is_capped:
+            # Cap applies to the un-scaled dynamic energy (the model
+            # knows nothing of utilisation scaling).
+            raw_energy = self._energy_sum(batch, 1.0, 1.0)
+            ideal = np.maximum(ideal, raw_energy / truth.delta_pi)
+
+        return _BatchPhysics(
+            t_flop=t_flop,
+            t_mem=t_mem,
+            base_time=base,
+            dyn_energy=dyn_energy,
+            demand=demand,
+            ideal_time=ideal,
+        )
 
     def component_times(self, kernel: KernelSpec) -> tuple[float, float]:
         """``(flop_time, memory_time)`` at full speed, seconds.
@@ -124,70 +366,20 @@ class Engine:
         dependent-access time: they share the load/store path, so they
         serialise against each other but overlap with the flops.
         """
-        truth = self.config.truth
-        tau_f, _ = flop_costs(truth, kernel.precision)
-        t_flop = kernel.flops * tau_f
-        t_mem = 0.0
-        for level, volume in kernel.traffic.items():
-            if volume == 0.0:
-                continue
-            try:
-                tau, _ = self._level_costs[level]
-            except KeyError:
-                raise KeyError(
-                    f"platform {truth.name!r} has no level {level!r}; "
-                    f"available: {sorted(self._level_costs)}"
-                ) from None
-            t_mem += volume * tau
-        if kernel.random_accesses:
-            if truth.random is None:
-                raise ValueError(
-                    f"platform {truth.name!r} has no random-access parameters"
-                )
-            t_mem += kernel.random_accesses * truth.random.tau_access
-        return t_flop, t_mem
+        t_flop, t_mem = self._batch_component_times(self._gather([kernel]))
+        return float(t_flop[0]), float(t_mem[0])
 
     def dynamic_energy(self, kernel: KernelSpec) -> float:
         """Dynamic (above-constant) energy of the kernel, Joules,
         including utilisation-dependent scaling when modelled."""
-        truth = self.config.truth
-        _, eps_f = flop_costs(truth, kernel.precision)
-        t_flop, t_mem = self.component_times(kernel)
-        base = smooth_max(t_flop, t_mem, self.config.effects.ridge_smoothing)
-        slope = self.config.effects.utilisation_energy_slope
-        if base > 0.0 and slope > 0.0:
-            u_flop = min(1.0, t_flop / base)
-            u_mem = min(1.0, t_mem / base)
-            g_flop = 1.0 - slope * (1.0 - u_flop)
-            g_mem = 1.0 - slope * (1.0 - u_mem)
-        else:
-            g_flop = g_mem = 1.0
-        energy = kernel.flops * eps_f * g_flop
-        for level, volume in kernel.traffic.items():
-            _, eps = self._level_costs[level]
-            energy += volume * eps * g_mem
-        if kernel.random_accesses:
-            energy += kernel.random_accesses * truth.random.eps_access * g_mem
-        return energy
+        physics = self._batch_physics(self._gather([kernel]))
+        return float(physics.dyn_energy[0])
 
     def ideal_time(self, kernel: KernelSpec) -> float:
         """The capped closed-form model's time for this kernel
         (hard max, no second-order effects), seconds."""
-        truth = self.config.truth
-        t_flop, t_mem = self.component_times(kernel)
-        t = max(t_flop, t_mem)
-        if truth.is_capped:
-            # Cap applies to the un-scaled dynamic energy (the model
-            # knows nothing of utilisation scaling).
-            _, eps_f = flop_costs(truth, kernel.precision)
-            energy = kernel.flops * eps_f
-            for level, volume in kernel.traffic.items():
-                _, eps = self._level_costs[level]
-                energy += volume * eps
-            if kernel.random_accesses:
-                energy += kernel.random_accesses * truth.random.eps_access
-            t = max(t, energy / truth.delta_pi)
-        return t
+        physics = self._batch_physics(self._gather([kernel]))
+        return float(physics.ideal_time[0])
 
     # ------------------------------------------------------------------
     # Execution.
@@ -199,10 +391,9 @@ class Engine:
         truth = config.truth
         effects = config.effects
 
-        t_flop, t_mem = self.component_times(kernel)
-        base_time = smooth_max(t_flop, t_mem, effects.ridge_smoothing)
-        dyn_energy = self.dynamic_energy(kernel)
-        demand = dyn_energy / base_time if base_time > 0 else 0.0
+        physics = self._batch_physics(self._gather([kernel]))
+        base_time = float(physics.base_time[0])
+        demand = float(physics.demand[0])
 
         cap = truth.delta_pi if truth.is_capped else math.inf
         if math.isfinite(cap):
@@ -239,7 +430,71 @@ class Engine:
             wall_time=trace.duration,
             trace=trace,
             throttled=throttled,
-            ideal_time=self.ideal_time(kernel),
+            ideal_time=float(physics.ideal_time[0]),
+        )
+
+    def run_batch(self, kernels: Sequence[KernelSpec]) -> BatchResult:
+        """Execute a whole sweep and return aligned result arrays.
+
+        With noise disabled (``rng=None``) the deterministic physics of
+        every kernel are evaluated as NumPy array operations over the
+        batch; only runs whose dynamic power exceeds the cap drop into
+        the scalar governor loop (their sawtooth schedule is inherently
+        sequential).  With noise enabled every kernel goes through
+        :meth:`run` so the generator consumes draws in exactly the
+        order a sequential campaign would -- either way the results are
+        identical to calling :meth:`run` per kernel, which is what
+        keeps the scalar path usable as the reference oracle.
+        """
+        kernels = tuple(kernels)
+        if self.rng is not None:
+            return BatchResult.from_results(
+                kernels, [self.run(kernel) for kernel in kernels]
+            )
+
+        config = self.config
+        truth = config.truth
+        effects = config.effects
+        physics = self._batch_physics(self._gather(kernels))
+
+        if np.any(physics.base_time <= 0.0):
+            offender = kernels[int(np.argmin(physics.base_time))]
+            raise ValueError(
+                f"kernel {offender.name!r} has zero execution time on "
+                f"platform {truth.name!r}"
+            )
+
+        wall_times = physics.base_time.copy()
+        segment_powers = truth.pi1 + physics.demand
+        energies = wall_times * segment_powers
+        throttled = np.zeros(len(kernels), dtype=bool)
+        traces: dict[int, PowerTrace] = {}
+
+        if truth.is_capped:
+            cap = truth.delta_pi * (1.0 - effects.cap_guard_band)
+            for i in np.flatnonzero(physics.demand > cap):
+                demand = float(physics.demand[i])
+                schedule = run_governor(
+                    float(physics.base_time[i]), demand, cap, effects.governor
+                )
+                trace = PowerTrace.from_durations(
+                    schedule.durations,
+                    truth.pi1 + schedule.frequencies * demand,
+                )
+                traces[int(i)] = trace
+                wall_times[i] = trace.duration
+                energies[i] = trace.energy()
+                throttled[i] = schedule.throttled
+
+        return BatchResult(
+            kernels=kernels,
+            wall_times=wall_times,
+            energies=energies,
+            avg_powers=energies / wall_times,
+            ideal_times=physics.ideal_time,
+            throttled=throttled,
+            segment_powers=segment_powers,
+            traces=traces,
         )
 
     def run_session(

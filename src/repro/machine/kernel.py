@@ -75,6 +75,21 @@ class KernelSpec:
         if self.total_work == 0.0:
             raise ValueError("kernel must perform some work")
 
+    # ``traffic`` is wrapped in a MappingProxyType, which cannot be
+    # pickled -- and kernels cross process boundaries inside the
+    # Observations a parallel campaign shard returns.  Swap the proxy
+    # for a plain dict on the way out and re-wrap on the way in.
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state["traffic"] = dict(self.traffic)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        state = dict(state)
+        state["traffic"] = MappingProxyType(dict(state["traffic"]))
+        self.__dict__.update(state)
+
     @property
     def dram_bytes(self) -> float:
         """Slow-memory traffic ``Q`` (bytes)."""

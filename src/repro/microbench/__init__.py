@@ -1,6 +1,14 @@
 """The microbenchmark suite of Section IV, run against the simulator."""
 
 from .cachebench import cache_sweep, working_set_staircase
+from .campaign import (
+    CampaignReport,
+    CampaignRunner,
+    ShardReport,
+    ShardSpec,
+    run_shard,
+    shard_seeds,
+)
 from .intensity import default_intensities, intensity_sweep
 from .kernels import (
     cache_kernel,
@@ -23,6 +31,12 @@ from .suite import (
 __all__ = [
     "cache_sweep",
     "working_set_staircase",
+    "CampaignReport",
+    "CampaignRunner",
+    "ShardReport",
+    "ShardSpec",
+    "run_shard",
+    "shard_seeds",
     "default_intensities",
     "intensity_sweep",
     "cache_kernel",

@@ -1,0 +1,279 @@
+"""Parallel campaign execution: shard platforms across a process pool.
+
+A full reproduction campaign is embarrassingly parallel across
+platforms -- each shard runs one platform's complete Section IV suite
+and Section V-A fit, sharing nothing with its siblings.  The
+:class:`CampaignRunner` below distributes those shards over a
+``concurrent.futures`` process pool and keeps the result *exactly*
+reproducible regardless of worker count:
+
+* **Seeding.**  Per-shard generators are spawned from the parent seed
+  with :class:`numpy.random.SeedSequence` -- shard ``k`` always gets
+  the ``k``-th child of ``SeedSequence(seed)``, keyed to its position
+  in the platform list, never to which worker happens to pick it up.
+  One worker or sixteen, every shard consumes the same stream.
+* **Calibration memoisation.**  Each shard's
+  :class:`~repro.microbench.runner.BenchmarkRunner` memoises its
+  noise-free calibration dry-runs keyed on kernel shape (the platform
+  is implicit: one runner per shard), and the sweeps prime that cache
+  through the vectorised :meth:`~repro.machine.engine.Engine.run_batch`
+  path.
+* **Counters.**  Every shard reports its run count, calibration
+  hit/miss counters and wall time; the aggregate lands in
+  :attr:`CampaignRunner.report`.
+
+The sequential per-platform path
+(:func:`repro.experiments.common.run_platform_fit`) is unchanged and
+remains the reference oracle.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..machine.platforms import PLATFORM_IDS, platform
+from .intensity import balanced_intensities
+from .runner import BenchmarkRunner
+from .suite import FittedPlatform, fit_campaign, run_campaign
+
+__all__ = [
+    "ShardSpec",
+    "ShardReport",
+    "CampaignReport",
+    "CampaignRunner",
+    "shard_seeds",
+    "run_shard",
+]
+
+
+def shard_seeds(seed: int, n: int) -> list[int]:
+    """Per-shard integer seeds spawned from one parent seed.
+
+    Shard ``k`` gets a seed derived from the ``k``-th child of
+    ``SeedSequence(seed)``; the mapping depends only on ``(seed, k)``,
+    so campaign results are independent of worker count and scheduling
+    order.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    children = np.random.SeedSequence(seed).spawn(n)
+    return [int(child.generate_state(1, np.uint64)[0]) for child in children]
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One unit of parallel campaign work: a platform plus its seed."""
+
+    platform_id: str
+    seed: int  #: this shard's spawned seed (see :func:`shard_seeds`).
+    replicates: int = 2
+    points_per_octave: int = 3
+    target_duration: float = 0.25
+    include_double: bool = True
+    include_cache: bool = True
+    include_chase: bool = True
+
+
+@dataclass(frozen=True)
+class ShardReport:
+    """Progress/timing counters one completed shard reports."""
+
+    platform_id: str
+    seed: int
+    n_runs: int
+    calibration_hits: int
+    calibration_misses: int
+    wall_seconds: float
+
+    @property
+    def calibration_hit_rate(self) -> float:
+        total = self.calibration_hits + self.calibration_misses
+        return self.calibration_hits / total if total else 0.0
+
+
+@dataclass(frozen=True)
+class CampaignReport:
+    """Aggregate counters of one parallel campaign."""
+
+    shards: tuple[ShardReport, ...]
+    workers: int
+    wall_seconds: float  #: end-to-end wall time of the whole campaign.
+
+    @property
+    def n_runs(self) -> int:
+        return sum(shard.n_runs for shard in self.shards)
+
+    @property
+    def shard_seconds(self) -> float:
+        """Summed per-shard wall time (the sequential-equivalent cost)."""
+        return sum(shard.wall_seconds for shard in self.shards)
+
+    @property
+    def parallel_efficiency(self) -> float:
+        """``shard_seconds / (workers * wall_seconds)``, 1.0 = ideal."""
+        if self.wall_seconds <= 0.0 or self.workers <= 0:
+            return 0.0
+        return self.shard_seconds / (self.workers * self.wall_seconds)
+
+
+def run_shard(spec: ShardSpec) -> tuple[FittedPlatform, ShardReport]:
+    """Run one platform's full campaign and fit (pool worker body).
+
+    Module-level so the process pool can pickle it; also callable
+    inline for ``max_workers=1``, which must produce bit-identical
+    results.
+    """
+    started = time.perf_counter()
+    config = platform(spec.platform_id)
+    grid = balanced_intensities(
+        config, points_per_octave=spec.points_per_octave
+    )
+    runner = BenchmarkRunner(
+        config, seed=spec.seed, target_duration=spec.target_duration
+    )
+    campaign = run_campaign(
+        config,
+        runner=runner,
+        replicates=spec.replicates,
+        intensities=grid,
+        include_double=spec.include_double,
+        include_cache=spec.include_cache,
+        include_chase=spec.include_chase,
+    )
+    fitted = fit_campaign(campaign, rng=np.random.default_rng(spec.seed + 1))
+    report = ShardReport(
+        platform_id=spec.platform_id,
+        seed=spec.seed,
+        n_runs=campaign.n_runs,
+        calibration_hits=runner.calibration_hits,
+        calibration_misses=runner.calibration_misses,
+        wall_seconds=time.perf_counter() - started,
+    )
+    return fitted, report
+
+
+class CampaignRunner:
+    """Runs per-platform campaign shards, optionally in parallel.
+
+    Parameters
+    ----------
+    platform_ids:
+        Platforms to shard over (default: all twelve).
+    seed:
+        Parent seed; each shard draws its own child seed from it via
+        :func:`shard_seeds`, so results do not depend on worker count.
+    max_workers:
+        Process-pool width; ``1`` runs the shards inline in this
+        process (still with spawned per-shard seeds, so the results
+        are identical to any parallel run).  Default: one worker per
+        shard, capped at the machine's CPU count.
+    replicates, points_per_octave, target_duration, include_*:
+        Campaign-size knobs, forwarded to every shard (see
+        :func:`repro.microbench.suite.run_campaign`).
+    """
+
+    def __init__(
+        self,
+        platform_ids: Sequence[str] | None = None,
+        *,
+        seed: int = 2014,
+        max_workers: int | None = None,
+        replicates: int = 2,
+        points_per_octave: int = 3,
+        target_duration: float = 0.25,
+        include_double: bool = True,
+        include_cache: bool = True,
+        include_chase: bool = True,
+    ) -> None:
+        self.platform_ids = tuple(
+            PLATFORM_IDS if platform_ids is None else platform_ids
+        )
+        if not self.platform_ids:
+            raise ValueError("need at least one platform")
+        unknown = [p for p in self.platform_ids if p not in PLATFORM_IDS]
+        if unknown:
+            raise ValueError(f"unknown platform ids: {unknown}")
+        if len(set(self.platform_ids)) != len(self.platform_ids):
+            # Shard k's seed is keyed to list position and the results
+            # are keyed by platform id: duplicates would silently run
+            # twice and collapse into one entry.
+            raise ValueError("duplicate platform ids")
+        if max_workers is None:
+            max_workers = min(len(self.platform_ids), os.cpu_count() or 1)
+        if max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        self.seed = seed
+        self.max_workers = max_workers
+        self.replicates = replicates
+        self.points_per_octave = points_per_octave
+        self.target_duration = target_duration
+        self.include_double = include_double
+        self.include_cache = include_cache
+        self.include_chase = include_chase
+        self.report: CampaignReport | None = None
+
+    def shard_specs(self) -> list[ShardSpec]:
+        """The shard list, in platform order with spawned seeds."""
+        seeds = shard_seeds(self.seed, len(self.platform_ids))
+        return [
+            ShardSpec(
+                platform_id=pid,
+                seed=shard_seed,
+                replicates=self.replicates,
+                points_per_octave=self.points_per_octave,
+                target_duration=self.target_duration,
+                include_double=self.include_double,
+                include_cache=self.include_cache,
+                include_chase=self.include_chase,
+            )
+            for pid, shard_seed in zip(self.platform_ids, seeds)
+        ]
+
+    def run(
+        self,
+        progress: Callable[[ShardReport], None] | None = None,
+    ) -> dict[str, FittedPlatform]:
+        """Run every shard and return fits keyed by platform id.
+
+        ``progress`` (if given) is called with each shard's
+        :class:`ShardReport` as it completes -- out of order under a
+        pool; the returned dict is always in platform order.  The
+        aggregate :class:`CampaignReport` is stored on
+        :attr:`report`.
+        """
+        specs = self.shard_specs()
+        started = time.perf_counter()
+        outcomes: dict[str, tuple[FittedPlatform, ShardReport]] = {}
+        if self.max_workers == 1 or len(specs) == 1:
+            for spec in specs:
+                fitted, shard_report = run_shard(spec)
+                outcomes[spec.platform_id] = (fitted, shard_report)
+                if progress is not None:
+                    progress(shard_report)
+        else:
+            workers = min(self.max_workers, len(specs))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {
+                    pool.submit(run_shard, spec): spec for spec in specs
+                }
+                for future in as_completed(futures):
+                    fitted, shard_report = future.result()
+                    outcomes[futures[future].platform_id] = (
+                        fitted, shard_report
+                    )
+                    if progress is not None:
+                        progress(shard_report)
+        self.report = CampaignReport(
+            shards=tuple(
+                outcomes[pid][1] for pid in self.platform_ids
+            ),
+            workers=self.max_workers,
+            wall_seconds=time.perf_counter() - started,
+        )
+        return {pid: outcomes[pid][0] for pid in self.platform_ids}

@@ -75,11 +75,15 @@ def intensity_sweep(
     )
     if grid.ndim != 1 or len(grid) == 0:
         raise ValueError("intensities must be a non-empty 1-D sequence")
+    kernels = [
+        intensity_kernel(runner.config, float(intensity), precision=precision)
+        for intensity in grid
+    ]
+    # One vectorised dry run calibrates the whole grid up front; the
+    # per-kernel executions below then hit the runner's cache.
+    runner.prime_calibration(kernels)
     observations: list[Observation] = []
-    for intensity in grid:
-        kernel = intensity_kernel(
-            runner.config, float(intensity), precision=precision
-        )
+    for kernel in kernels:
         observations.extend(
             runner.execute_replicates(kernel, "intensity", replicates)
         )

@@ -84,14 +84,22 @@ def run_campaign(
     include_double: bool = True,
     include_cache: bool = True,
     include_chase: bool = True,
+    runner: BenchmarkRunner | None = None,
 ) -> Campaign:
-    """Run the full Section IV benchmark suite on one platform."""
-    runner = BenchmarkRunner(
-        config,
-        seed=seed,
-        target_duration=target_duration,
-        powermon=powermon,
-    )
+    """Run the full Section IV benchmark suite on one platform.
+
+    Pass a preconstructed ``runner`` to reuse its calibration cache or
+    to inspect its counters afterwards (the parallel campaign shards
+    do); ``seed``, ``target_duration`` and ``powermon`` are then taken
+    from it and the keyword values are ignored.
+    """
+    if runner is None:
+        runner = BenchmarkRunner(
+            config,
+            seed=seed,
+            target_duration=target_duration,
+            powermon=powermon,
+        )
     single = intensity_sweep(
         runner, intensities, replicates=replicates, precision="single"
     )

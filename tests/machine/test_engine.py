@@ -91,6 +91,41 @@ class TestSmoothMax:
         assert smooth_max(0.0, 0.0, 0.1) == 0.0
         assert smooth_max(0.0, 2.0, 0.1) == pytest.approx(2.0)
 
+    def test_negative_smoothing_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            smooth_max(1.0, 2.0, -0.1)
+
+    def test_extreme_magnitudes_stay_finite(self):
+        # Huge components must not overflow the p-norm ...
+        assert smooth_max(1e308, 1e308, 0.1) == pytest.approx(
+            1e308 * 2 ** 0.1
+        )
+        # ... tiny ones must not underflow to zero ...
+        assert smooth_max(1e-308, 1e-308, 0.1) == pytest.approx(
+            1e-308 * 2 ** 0.1
+        )
+        # ... and mixed scales stay exact at the dominant component.
+        assert smooth_max(1e-300, 1e300, 0.1) == 1e300
+
+    def test_tiny_smoothing_is_hard_max(self):
+        # p = 1/smoothing is astronomically large: the ratio term
+        # underflows to the hard max, the correct limiting value.
+        result = smooth_max(3.0, 4.0, 1e-9)
+        assert np.isfinite(result)
+        assert result == 4.0
+
+    def test_array_inputs_match_scalar(self):
+        a = np.array([3.0, 0.0, 1e-308, 1e308])
+        b = np.array([4.0, 0.0, 1e-308, 1.0])
+        out = smooth_max(a, b, 0.2)
+        assert out.shape == a.shape
+        for i in range(len(a)):
+            assert out[i] == smooth_max(float(a[i]), float(b[i]), 0.2)
+
+    def test_scalar_inputs_return_python_float(self):
+        assert isinstance(smooth_max(1.0, 2.0, 0.1), float)
+        assert isinstance(smooth_max(1.0, 2.0, 0.0), float)
+
 
 class TestComponentPhysics:
     def test_component_times(self, clean_config):
@@ -273,6 +308,24 @@ class TestIdleAndMissingParams:
         k = KernelSpec(name="k", random_accesses=100.0)
         with pytest.raises(ValueError, match="random-access"):
             engine.run(k)
+
+    def test_random_access_guard_covers_every_entry_point(self):
+        """The guard lives in one place (_gather), so component times,
+        dynamic energy and the ideal-time cap check all reject a
+        dependent-access kernel on a platform without random-access
+        parameters -- with an error naming the kernel and platform."""
+        cfg = platform("nuc-gpu")
+        engine = Engine(cfg)
+        k = KernelSpec(name="chase-probe", flops=1.0, random_accesses=64.0)
+        for method in (
+            engine.component_times,
+            engine.dynamic_energy,
+            engine.ideal_time,
+        ):
+            with pytest.raises(ValueError) as err:
+                method(k)
+            assert "chase-probe" in str(err.value)
+            assert cfg.truth.name in str(err.value)
 
     def test_real_platform_clean_run_tracks_model(self):
         from repro.core import model

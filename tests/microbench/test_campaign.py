@@ -1,0 +1,196 @@
+"""Parallel campaign runner: seeding, pooling, counters, messages.
+
+The campaign runner's one hard promise is worker-count independence:
+the same parent seed must produce the same Observations and fits
+whether the shards run inline or across a process pool.  These tests
+use scaled-down campaigns on a platform subset so the pool smoke test
+stays tier-1 cheap.
+"""
+
+import numpy as np
+import pytest
+
+from repro.machine.kernel import DRAM, KernelSpec
+from repro.machine.platforms import platform
+from repro.microbench.campaign import (
+    CampaignRunner,
+    ShardReport,
+    ShardSpec,
+    run_shard,
+    shard_seeds,
+)
+from repro.microbench.runner import BenchmarkRunner, Observation
+
+QUICK = dict(
+    replicates=1,
+    points_per_octave=2,
+    target_duration=0.1,
+    include_double=False,
+    include_cache=False,
+    include_chase=False,
+)
+
+
+def quick_runner(platform_ids, seed=2014, max_workers=1):
+    return CampaignRunner(
+        platform_ids, seed=seed, max_workers=max_workers, **QUICK
+    )
+
+
+class TestShardSeeds:
+    def test_deterministic_and_distinct(self):
+        a = shard_seeds(2014, 4)
+        assert a == shard_seeds(2014, 4)
+        assert len(set(a)) == 4
+
+    def test_prefix_stable(self):
+        """Shard k's seed depends only on (parent, k) -- adding more
+        platforms never reshuffles the existing ones."""
+        assert shard_seeds(7, 3) == shard_seeds(7, 6)[:3]
+
+    def test_parent_seed_matters(self):
+        assert shard_seeds(1, 3) != shard_seeds(2, 3)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            shard_seeds(0, -1)
+
+
+class TestRunShard:
+    def test_reports_counters(self):
+        spec = ShardSpec(platform_id="gtx-titan", seed=99, **QUICK)
+        fitted, report = run_shard(spec)
+        assert fitted.config.name == platform("gtx-titan").name
+        assert report.platform_id == "gtx-titan"
+        assert report.seed == 99
+        assert report.n_runs == fitted.campaign.n_runs > 0
+        assert report.calibration_misses > 0
+        # Replicated peak runs re-use the primed/warm cache.
+        assert report.calibration_hits > 0
+        assert 0.0 < report.calibration_hit_rate < 1.0
+        assert report.wall_seconds > 0.0
+
+
+class TestCampaignRunner:
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError, match="at least one"):
+            CampaignRunner(())
+        with pytest.raises(ValueError, match="unknown platform"):
+            CampaignRunner(("gtx-titan", "not-a-platform"))
+        with pytest.raises(ValueError, match="max_workers"):
+            CampaignRunner(("gtx-titan",), max_workers=0)
+        with pytest.raises(ValueError, match="duplicate"):
+            CampaignRunner(("gtx-titan", "gtx-titan"))
+
+    def test_worker_count_does_not_change_results(self):
+        """The acceptance property: 1 worker and a 2-worker pool
+        produce identical Observations and identical fits."""
+        ids = ("gtx-titan", "nuc-gpu")
+        seq = quick_runner(ids, max_workers=1)
+        par = quick_runner(ids, max_workers=2)
+        fits_seq = seq.run()
+        fits_par = par.run()
+        assert set(fits_seq) == set(fits_par) == set(ids)
+        for pid in ids:
+            obs_seq = fits_seq[pid].campaign.all_observations
+            obs_par = fits_par[pid].campaign.all_observations
+            assert obs_seq == obs_par  # frozen dataclasses: exact match
+            assert (
+                fits_seq[pid].capped.params.tau_flop
+                == fits_par[pid].capped.params.tau_flop
+            )
+            assert (
+                fits_seq[pid].capped.params.pi1
+                == fits_par[pid].capped.params.pi1
+            )
+
+    def test_pool_smoke_run_with_report(self):
+        """Tiny 2-worker process-pool campaign end to end."""
+        runner = quick_runner(("gtx-titan", "xeon-phi"), max_workers=2)
+        seen: list[ShardReport] = []
+        fits = runner.run(progress=seen.append)
+        assert set(fits) == {"gtx-titan", "xeon-phi"}
+        assert sorted(r.platform_id for r in seen) == [
+            "gtx-titan", "xeon-phi",
+        ]
+        report = runner.report
+        assert report is not None
+        assert report.workers == 2
+        assert report.n_runs == sum(r.n_runs for r in seen)
+        assert report.shard_seconds > 0.0
+        assert report.parallel_efficiency > 0.0
+        # report.shards is in platform order even if completion wasn't.
+        assert [s.platform_id for s in report.shards] == [
+            "gtx-titan", "xeon-phi",
+        ]
+
+    def test_shard_specs_carry_spawned_seeds(self):
+        runner = quick_runner(("gtx-titan", "xeon-phi", "nuc-gpu"))
+        specs = runner.shard_specs()
+        assert [s.platform_id for s in specs] == [
+            "gtx-titan", "xeon-phi", "nuc-gpu",
+        ]
+        assert [s.seed for s in specs] == shard_seeds(2014, 3)
+
+
+class TestCalibrationMemoisation:
+    def test_replicates_hit_the_cache(self):
+        runner = BenchmarkRunner(platform("gtx-titan"), seed=0)
+        k = KernelSpec(name="k", flops=1e9, traffic={DRAM: 1e8})
+        runner.execute_replicates(k, "intensity", 3)
+        assert runner.calibration_misses == 1
+        assert runner.calibration_hits == 2
+
+    def test_prime_matches_scalar_calibration(self):
+        config = platform("gtx-titan")
+        kernels = [
+            KernelSpec(name=f"k{i}", flops=float(x) * 1e8, traffic={DRAM: 1e8})
+            for i, x in enumerate(np.geomspace(0.25, 64.0, 8))
+        ]
+        primed = BenchmarkRunner(config, seed=0)
+        assert primed.prime_calibration(kernels) == len(kernels)
+        assert primed.prime_calibration(kernels) == 0  # all cached now
+        cold = BenchmarkRunner(config, seed=0)
+        for kernel in kernels:
+            assert primed.calibrate(kernel) == cold.calibrate(kernel)
+        # Every post-prime calibrate was a hit.
+        assert primed.calibration_hits == len(kernels)
+
+    def test_prime_deduplicates_shapes(self):
+        runner = BenchmarkRunner(platform("gtx-titan"), seed=0)
+        k = KernelSpec(name="k", flops=1e9, traffic={DRAM: 1e8})
+        clone = KernelSpec(name="other-name", flops=1e9, traffic={DRAM: 1e8})
+        assert runner.prime_calibration([k, clone, k]) == 1
+
+
+class TestObservationValidation:
+    def test_error_names_the_run(self):
+        k = KernelSpec(name="probe-17", flops=1.0)
+        with pytest.raises(ValueError) as err:
+            Observation(
+                platform="GTX Titan",
+                benchmark="intensity",
+                kernel=k,
+                wall_time=0.0,
+                energy=1.0,
+                avg_power=1.0,
+                throttled=False,
+            )
+        msg = str(err.value)
+        assert "probe-17" in msg
+        assert "GTX Titan" in msg
+        assert "intensity" in msg
+        assert "wall_time" in msg
+
+    def test_energy_error_names_the_run_too(self):
+        k = KernelSpec(name="probe-18", flops=1.0)
+        with pytest.raises(ValueError, match="probe-18"):
+            Observation(
+                platform="GTX Titan",
+                benchmark="peak",
+                kernel=k,
+                wall_time=1.0,
+                energy=-2.0,
+                avg_power=1.0,
+                throttled=False,
+            )
