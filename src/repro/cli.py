@@ -13,9 +13,14 @@ Commands
 ``archline bench <platform-id>``
     Run the microbenchmark campaign on one platform and print the
     fitted vs ground-truth parameters.
-``archline campaign [platform-id ...] [--workers N]``
+``archline campaign [platform-id ...] [--workers N] [--faults SPEC]``
     Run the full per-platform campaigns through the parallel
     ``CampaignRunner`` and print per-shard timing/calibration counters.
+    ``--faults`` injects seeded rig faults (e.g.
+    ``--faults "dropout=0.05,run_failure=0.1,seed=7"``; see
+    docs/FAULTS.md) and reports retries, rejected observations, and
+    quarantined cells; ``--max-retries`` and ``--shard-timeout``
+    bound the resilient execution.
 ``archline audit``
     Check the paper's own numbers against each other (Table I vs the
     Fig. 5 annotations, etc.).
@@ -120,6 +125,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     camp_p.add_argument(
         "--quick", action="store_true", help="smaller campaigns (smoke run)"
+    )
+    camp_p.add_argument(
+        "--faults",
+        default=None,
+        metavar="SPEC",
+        help="inject seeded rig faults, e.g. "
+        "'dropout=0.05,jitter=1e-4,run_failure=0.1,seed=7' "
+        "(fields: dropout, jitter, desync, desync_prob, saturation, "
+        "nan, truncation, run_failure, seed; see docs/FAULTS.md)",
+    )
+    camp_p.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="per-run retry budget before a cell is quarantined "
+        "(default 2; only used with --faults)",
+    )
+    camp_p.add_argument(
+        "--shard-timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help="wall-clock deadline in seconds for the whole campaign; "
+        "shards still unfinished are reported as 'timeout'",
     )
 
     sub.add_parser(
@@ -255,8 +285,15 @@ def _cmd_bench(platform_id: str, seed: int) -> str:
 
 
 def _cmd_campaign(
-    platform_ids: list[str], seed: int, workers: int | None, quick: bool
+    platform_ids: list[str],
+    seed: int,
+    workers: int | None,
+    quick: bool,
+    faults_spec: str | None = None,
+    max_retries: int = 2,
+    shard_timeout: float | None = None,
 ) -> str:
+    from .faults import FaultPlan
     from .microbench.campaign import CampaignRunner
 
     unknown = [p for p in platform_ids if p not in PLATFORM_IDS]
@@ -265,6 +302,12 @@ def _cmd_campaign(
             f"archline campaign: unknown platform(s) {', '.join(unknown)}; "
             f"choose from {', '.join(PLATFORM_IDS)}"
         )
+    plan = None
+    if faults_spec is not None:
+        try:
+            plan = FaultPlan.parse(faults_spec)
+        except ValueError as err:
+            raise SystemExit(f"archline campaign: bad --faults spec: {err}")
     settings = CampaignSettings(seed=seed)
     if quick:
         settings = settings.scaled_down()
@@ -278,30 +321,60 @@ def _cmd_campaign(
         include_double=settings.include_double,
         include_cache=settings.include_cache,
         include_chase=settings.include_chase,
+        faults=plan,
+        max_retries=max_retries,
+        shard_timeout=shard_timeout,
     )
     fits = runner.run()
     report = runner.report
     assert report is not None
-    table = Table(
-        columns=["platform", "runs", "cal hit rate", "shard time",
-                 "tau_flop dev"],
-        title=f"Campaign: {len(fits)} platforms, {report.workers} workers, "
+    resilient = plan is not None or not report.ok
+    columns = ["platform", "runs", "cal hit rate", "shard time",
+               "tau_flop dev"]
+    if resilient:
+        columns[1:1] = ["status", "failed", "retries", "quar"]
+    title = (
+        f"Campaign: {len(fits)} platforms, {report.workers} workers, "
         f"{report.wall_seconds:.2f}s wall "
-        f"(efficiency {fmt_pct(report.parallel_efficiency)})",
+        f"(efficiency {fmt_pct(report.parallel_efficiency)})"
     )
+    if plan is not None:
+        title += f"\nfaults: {plan.describe()}"
+    table = Table(columns=columns, title=title)
     for shard in report.shards:
-        fit = fits[shard.platform_id]
-        dev = (
-            fit.capped.params.tau_flop - fit.truth.tau_flop
-        ) / fit.truth.tau_flop
-        table.add_row(
+        fit = fits.get(shard.platform_id)
+        if fit is None:
+            dev = "n/a"
+        else:
+            rel = (
+                fit.capped.params.tau_flop - fit.truth.tau_flop
+            ) / fit.truth.tau_flop
+            dev = f"{rel:+.1%}"
+        row = [
             shard.platform_id,
             str(shard.n_runs),
             fmt_pct(shard.calibration_hit_rate),
             f"{shard.wall_seconds:.2f}s",
-            f"{dev:+.1%}",
+            dev,
+        ]
+        if resilient:
+            row[1:1] = [
+                shard.status,
+                str(shard.runs_failed),
+                str(shard.retries),
+                str(len(shard.quarantined)),
+            ]
+        table.add_row(*row)
+    out = table.render()
+    if resilient:
+        out += (
+            f"\n\nattempted {report.runs_attempted} runs: "
+            f"{report.runs_failed} failed ({report.retries} retried), "
+            f"{report.rejected} rejected, {report.runs_skipped} skipped, "
+            f"{len(report.quarantined_cells)} cells quarantined\n"
+            + report.describe_losses()
         )
-    return table.render()
+    return out
 
 
 _METRIC_UNITS = {
@@ -395,7 +468,15 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 0
     if args.command == "campaign":
         print(
-            _cmd_campaign(args.platform_ids, args.seed, args.workers, args.quick)
+            _cmd_campaign(
+                args.platform_ids,
+                args.seed,
+                args.workers,
+                args.quick,
+                faults_spec=args.faults,
+                max_retries=args.max_retries,
+                shard_timeout=args.shard_timeout,
+            )
         )
         return 0
     if args.command == "audit":

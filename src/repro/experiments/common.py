@@ -25,6 +25,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..faults.plan import FaultPlan
 from ..machine.platforms import PLATFORM_IDS, platform
 from ..microbench.campaign import CampaignRunner
 from ..microbench.intensity import balanced_intensities
@@ -44,6 +45,10 @@ class CampaignSettings:
     include_double: bool = True
     include_cache: bool = True
     include_chase: bool = True
+    #: Seeded rig-fault model (None = clean rig; the all-zero plan is
+    #: bit-for-bit identical to None).
+    faults: FaultPlan | None = None
+    max_retries: int = 2  #: per-run retry budget under faults.
 
     def scaled_down(self) -> "CampaignSettings":
         """Cheaper settings for smoke tests and benchmark harnesses."""
@@ -55,6 +60,8 @@ class CampaignSettings:
             include_double=False,
             include_cache=self.include_cache,
             include_chase=self.include_chase,
+            faults=self.faults,
+            max_retries=self.max_retries,
         )
 
 
@@ -76,6 +83,8 @@ def run_platform_fit(
         include_double=settings.include_double,
         include_cache=settings.include_cache,
         include_chase=settings.include_chase,
+        faults=settings.faults,
+        max_retries=settings.max_retries,
     )
     rng = np.random.default_rng(settings.seed + 1)
     return fit_campaign(campaign, rng=rng)
@@ -108,5 +117,7 @@ def run_all_fits(
         include_double=settings.include_double,
         include_cache=settings.include_cache,
         include_chase=settings.include_chase,
+        faults=settings.faults,
+        max_retries=settings.max_retries,
     )
     return runner.run()

@@ -1,0 +1,35 @@
+"""Rig fault injection: seeded failure modes for the software twin.
+
+The paper's numbers all flow through a physical rig (PowerMon 2 plus a
+PCIe interposer), and real rigs drop samples, desync channels, saturate
+ADCs and stall mid-session.  This package defines composable, seeded
+fault models (:class:`FaultPlan` + :class:`FaultInjector`) applied at
+the measurement boundary -- ground truth stays exact -- and the named
+errors (:mod:`repro.faults.errors`) the resilient campaign execution
+path retries, validates and quarantines on.  See ``docs/FAULTS.md``.
+"""
+
+from .errors import (
+    CorruptObservationError,
+    EmptyChannelError,
+    InjectedRunFailureError,
+    RigFaultError,
+    ShardFailureError,
+    ShardTimeoutError,
+    TruncatedSessionError,
+)
+from .injector import FaultCounters, FaultInjector
+from .plan import FaultPlan
+
+__all__ = [
+    "FaultPlan",
+    "FaultInjector",
+    "FaultCounters",
+    "RigFaultError",
+    "InjectedRunFailureError",
+    "EmptyChannelError",
+    "CorruptObservationError",
+    "TruncatedSessionError",
+    "ShardFailureError",
+    "ShardTimeoutError",
+]

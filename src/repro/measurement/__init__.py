@@ -1,5 +1,14 @@
-"""Simulated measurement rig: PowerMon 2, PCIe interposer, rails."""
+"""Simulated measurement rig: PowerMon 2, PCIe interposer, rails.
 
+Rig *faults* (dropout, jitter, desync, saturation, truncation, lost
+runs) live in :mod:`repro.faults` and plug into every instrument here
+via a ``faults=`` parameter; the named errors they raise
+(:class:`~repro.faults.errors.EmptyChannelError`,
+:class:`~repro.faults.errors.TruncatedSessionError`, ...) are
+re-exported for convenience.
+"""
+
+from ..faults.errors import EmptyChannelError, TruncatedSessionError
 from .energy import MeasuredRun, MeasurementRig, mean_power_energy, trapezoid_energy
 from .interposer import InterposerReading, PCIeInterposer
 from .powermon import ChannelReading, Measurement, PowerMon
@@ -23,4 +32,6 @@ __all__ = [
     "Window",
     "detect_windows",
     "measure_session",
+    "EmptyChannelError",
+    "TruncatedSessionError",
 ]

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..faults.injector import FaultInjector
+from ..faults.plan import FaultPlan
 from ..machine.power import PowerTrace
 from .rails import PCIE_SLOT_LIMIT
 
@@ -23,6 +25,7 @@ class InterposerReading:
 
     trace: PowerTrace
     slot_limit: float
+    truncated: bool = False  #: whether a rig fault cut the capture short.
 
     @property
     def peak_power(self) -> float:
@@ -36,12 +39,25 @@ class InterposerReading:
 
 
 class PCIeInterposer:
-    """Measures the slot rail of a PCIe device."""
+    """Measures the slot rail of a PCIe device.
 
-    def __init__(self, slot_limit: float = PCIE_SLOT_LIMIT) -> None:
+    ``faults`` (a plan or a shared injector) models the interposer's
+    own capture failing: its recording of the slot rail can be cut
+    short mid-run, flagged on the returned reading.  Ground truth (the
+    trace handed in) is never modified in place.
+    """
+
+    def __init__(
+        self,
+        slot_limit: float = PCIE_SLOT_LIMIT,
+        faults: FaultPlan | FaultInjector | None = None,
+    ) -> None:
         if not slot_limit > 0:
             raise ValueError("slot_limit must be positive")
         self.slot_limit = slot_limit
+        if isinstance(faults, FaultPlan):
+            faults = FaultInjector(faults)
+        self.injector: FaultInjector | None = faults
 
     def read(self, slot_trace: PowerTrace, *, strict: bool = False) -> InterposerReading:
         """Capture the slot rail.
@@ -50,7 +66,12 @@ class PCIeInterposer:
         tests; by default it is only flagged, as a real interposer
         would simply record it.
         """
-        reading = InterposerReading(trace=slot_trace, slot_limit=self.slot_limit)
+        truncated = False
+        if self.injector is not None and self.injector.active:
+            slot_trace, truncated = self.injector.truncate_trace(slot_trace)
+        reading = InterposerReading(
+            trace=slot_trace, slot_limit=self.slot_limit, truncated=truncated
+        )
         if strict and not reading.within_budget:
             raise ValueError(
                 f"slot draw {reading.peak_power:.1f} W exceeds "

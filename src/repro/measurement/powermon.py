@@ -20,6 +20,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..faults.errors import EmptyChannelError
+from ..faults.injector import FaultInjector
+from ..faults.plan import FaultPlan
 from ..machine.power import PowerTrace
 
 __all__ = ["ChannelReading", "Measurement", "PowerMon"]
@@ -35,9 +38,14 @@ class ChannelReading:
 
     def __post_init__(self) -> None:
         if len(self.times) != len(self.power):
-            raise ValueError("times and power must have equal lengths")
+            raise ValueError(
+                f"channel for rail {self.rail!r}: times and power must have "
+                f"equal lengths, got {len(self.times)} and {len(self.power)}"
+            )
         if len(self.times) == 0:
-            raise ValueError("a channel reading needs at least one sample")
+            # Named error: an all-dropped channel is a rig fault the
+            # resilient execution path retries, not a programming error.
+            raise EmptyChannelError(self.rail)
 
     @property
     def average_power(self) -> float:
@@ -97,6 +105,12 @@ class PowerMon:
     resolution:
         ADC quantisation step in Watts (0 disables).  The real device
         digitises V and I; a power-domain step is the aggregate effect.
+    faults:
+        Optional seeded rig-fault model applied to every captured
+        channel (a :class:`~repro.faults.plan.FaultPlan`, or a shared
+        :class:`~repro.faults.injector.FaultInjector` when several
+        instruments must draw from one stream).  ``None`` -- and any
+        all-zero plan -- leaves the capture path bit-for-bit unchanged.
     """
 
     def __init__(
@@ -105,6 +119,7 @@ class PowerMon:
         max_channels: int = 8,
         aggregate_limit: float = 3072.0,
         resolution: float = 0.01,
+        faults: FaultPlan | FaultInjector | None = None,
     ) -> None:
         if not sample_rate > 0:
             raise ValueError("sample_rate must be positive")
@@ -118,6 +133,9 @@ class PowerMon:
         self.max_channels = max_channels
         self.aggregate_limit = aggregate_limit
         self.resolution = resolution
+        if isinstance(faults, FaultPlan):
+            faults = FaultInjector(faults)
+        self.injector: FaultInjector | None = faults
 
     def effective_rate(self, n_channels: int) -> float:
         """Per-channel rate after the aggregate-bandwidth limit."""
@@ -153,9 +171,16 @@ class PowerMon:
         # taken mid-run (the device latches at least one sample).
         period = duration / n if duration * rate < 1.0 else 1.0 / rate
         channels = []
+        inject = self.injector is not None and self.injector.active
         for name, trace in rails.items():
             offset = float(trace.edges[0])
             times = offset + (np.arange(n) + 0.5) * period
             power = self._quantise(trace.sample(times))
+            if inject:
+                times, power = self.injector.corrupt_channel(name, times, power)
+            # ChannelReading itself rejects the empty case, but raising
+            # here names the fault before the dataclass gets a chance to.
+            if len(times) == 0:
+                raise EmptyChannelError(name)
             channels.append(ChannelReading(rail=name, times=times, power=power))
         return Measurement(channels=tuple(channels), duration=duration)

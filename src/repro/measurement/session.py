@@ -23,6 +23,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..faults.errors import TruncatedSessionError
+from ..faults.injector import FaultInjector
+from ..faults.plan import FaultPlan
 from ..machine.power import PowerTrace
 from .powermon import PowerMon
 
@@ -58,6 +61,7 @@ def detect_windows(
     rise_fraction: float = 0.30,
     min_duration: float = 0.01,
     merge_gap: float = 0.02,
+    allow_truncated: bool = False,
 ) -> list[Window]:
     """Find activity windows in a sampled power signal.
 
@@ -67,19 +71,48 @@ def detect_windows(
     than ``merge_gap`` seconds are merged (governor oscillation must
     not split a run) and windows shorter than ``min_duration`` are
     dropped (sampling glitches).
+
+    A recording that is still *active* at its first or last sample is
+    truncated -- the bounding window's edges lie outside the capture
+    and its duration/energy would be bogus.  That raises the named
+    :class:`~repro.faults.errors.TruncatedSessionError`; pass
+    ``allow_truncated=True`` to silently drop the partial window(s)
+    instead (bounded recall loss rather than a wrong answer).
     """
     times = np.asarray(times, dtype=float)
     power = np.asarray(power, dtype=float)
     if times.shape != power.shape or times.ndim != 1 or len(times) == 0:
         raise ValueError("times and power must be equal-length 1-D arrays")
     if threshold is None:
-        floor = float(np.quantile(power, idle_quantile))
-        peak = float(np.max(power))
+        finite = power[np.isfinite(power)]
+        if len(finite) == 0:
+            raise ValueError("power signal contains no finite samples")
+        floor = float(np.quantile(finite, idle_quantile))
+        peak = float(np.max(finite))
         if peak <= floor:
             return []
         threshold = floor + rise_fraction * (peak - floor)
 
     active = power > threshold
+    if not np.any(active):
+        return []
+
+    truncated_edges = [
+        edge for edge, cut in (("start", active[0]), ("end", active[-1])) if cut
+    ]
+    if truncated_edges and not allow_truncated:
+        raise TruncatedSessionError(truncated_edges[-1])
+    if truncated_edges:
+        # Drop the partial window(s): mask out the active run touching
+        # the truncated edge so the edge-detection below never sees it.
+        if np.all(active):
+            return []
+        active = active.copy()
+        if active[0]:
+            active[: int(np.argmin(active))] = False
+        if np.any(active) and active[-1]:
+            last_rise = len(active) - int(np.argmin(active[::-1]))
+            active[last_rise:] = False
     if not np.any(active):
         return []
 
@@ -119,6 +152,7 @@ class SessionMeasurement:
     windows: tuple[WindowReading, ...]
     idle_power: float  #: estimated idle floor, W.
     total_duration: float
+    truncated: bool = False  #: whether a fault cut the recording short.
 
     @property
     def n_runs(self) -> int:
@@ -129,27 +163,53 @@ def measure_session(
     trace: PowerTrace,
     *,
     powermon: PowerMon | None = None,
+    faults: FaultPlan | FaultInjector | None = None,
     **detect_kwargs,
 ) -> SessionMeasurement:
     """Sample a session trace and extract per-run measurements.
 
     Uses a single measurement channel (sessions are recorded on the
     summed rail for window detection; per-rail splits come later).
+
+    ``faults`` injects rig failures into the recording: the session
+    trace may be truncated mid-capture (see
+    :attr:`~repro.faults.plan.FaultPlan.truncation_rate`) and, when no
+    explicit ``powermon`` is given, the default instrument applies the
+    plan's channel-level corruption too.  Window detection on a
+    truncated recording raises
+    :class:`~repro.faults.errors.TruncatedSessionError` unless
+    ``allow_truncated=True`` is passed through ``detect_kwargs``.
     """
-    mon = powermon or PowerMon()
+    injector: FaultInjector | None = None
+    if faults is not None:
+        injector = (
+            faults if isinstance(faults, FaultInjector) else FaultInjector(faults)
+        )
+    truncated = False
+    if injector is not None and injector.active:
+        trace, truncated = injector.truncate_trace(trace)
+    if powermon is None:
+        mon = PowerMon(faults=injector) if injector is not None else PowerMon()
+    else:
+        mon = powermon
     measurement = mon.measure({"session": trace})
     channel = measurement.channel("session")
     windows = detect_windows(channel.times, channel.power, **detect_kwargs)
     readings = []
     for w in windows:
         mask = (channel.times >= w.start) & (channel.times <= w.end)
-        avg = float(np.mean(channel.power[mask]))
+        values = channel.power[mask]
+        # NaN ADC readings inside a window must not poison its average.
+        clean = values[np.isfinite(values)] if np.any(np.isnan(values)) else values
+        avg = float(np.mean(clean)) if len(clean) else float("nan")
         readings.append(
             WindowReading(window=w, avg_power=avg, energy=avg * w.duration)
         )
-    idle = float(np.quantile(channel.power, 0.10))
+    finite = channel.power[np.isfinite(channel.power)]
+    idle = float(np.quantile(finite if len(finite) else channel.power, 0.10))
     return SessionMeasurement(
         windows=tuple(readings),
         idle_power=idle,
         total_duration=trace.duration,
+        truncated=truncated,
     )

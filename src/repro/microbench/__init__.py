@@ -19,7 +19,7 @@ from .kernels import (
 )
 from .peak import peak_flops, peak_stream, sustained_bandwidth, sustained_flops
 from .pointer_chase import chase_sweep, dram_miss_fraction
-from .runner import BenchmarkRunner, Observation
+from .runner import BenchmarkRunner, Observation, QuarantinedCell, validate_measured_run
 from .suite import (
     Campaign,
     FittedPlatform,
@@ -52,6 +52,8 @@ __all__ = [
     "dram_miss_fraction",
     "BenchmarkRunner",
     "Observation",
+    "QuarantinedCell",
+    "validate_measured_run",
     "Campaign",
     "FittedPlatform",
     "fit_campaign",

@@ -19,8 +19,15 @@ reproducible regardless of worker count:
   through the vectorised :meth:`~repro.machine.engine.Engine.run_batch`
   path.
 * **Counters.**  Every shard reports its run count, calibration
-  hit/miss counters and wall time; the aggregate lands in
-  :attr:`CampaignRunner.report`.
+  hit/miss counters, wall time and fault/retry/quarantine totals; the
+  aggregate lands in :attr:`CampaignRunner.report`.
+* **Resilience.**  A shard that raises, crashes its worker process or
+  misses the ``shard_timeout`` deadline is quarantined -- recorded in
+  the report with a named status and excluded from the returned fits
+  -- instead of killing the campaign.  Per-run faults (from a seeded
+  :class:`~repro.faults.plan.FaultPlan`) are retried and quarantined
+  at cell granularity inside each shard by
+  :class:`~repro.microbench.runner.BenchmarkRunner`.
 
 The sequential per-platform path
 (:func:`repro.experiments.common.run_platform_fit`) is unchanged and
@@ -32,14 +39,15 @@ from __future__ import annotations
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Sequence
 
 import numpy as np
 
+from ..faults.plan import FaultPlan
 from ..machine.platforms import PLATFORM_IDS, platform
 from .intensity import balanced_intensities
-from .runner import BenchmarkRunner
+from .runner import BenchmarkRunner, QuarantinedCell
 from .suite import FittedPlatform, fit_campaign, run_campaign
 
 __all__ = [
@@ -78,18 +86,41 @@ class ShardSpec:
     include_double: bool = True
     include_cache: bool = True
     include_chase: bool = True
+    faults: FaultPlan | None = None  #: seeded rig-fault model (None = clean).
+    max_retries: int = 2  #: per-run retry budget under faults.
+    retry_backoff: float = 0.0  #: first retry delay, s (doubles per retry).
 
 
 @dataclass(frozen=True)
 class ShardReport:
-    """Progress/timing counters one completed shard reports."""
+    """Progress/timing/fault counters one shard reports.
+
+    Fault-free shards leave every resilience field at its default; the
+    counters satisfy ``runs_attempted == n_runs + runs_failed`` and
+    ``runs_failed == retries + len(quarantined)`` (every failed attempt
+    was either retried or retired its cell).
+    """
 
     platform_id: str
     seed: int
-    n_runs: int
+    n_runs: int  #: observations accepted into the campaign.
     calibration_hits: int
     calibration_misses: int
     wall_seconds: float
+    status: str = "ok"  #: "ok" | "failed" | "timeout".
+    error: str = ""  #: failure message when status != "ok".
+    runs_attempted: int = 0  #: engine executions, including retries.
+    runs_failed: int = 0  #: attempts lost to a rig fault.
+    retries: int = 0  #: failed attempts that were retried.
+    rejected: int = 0  #: validation rejections (subset of runs_failed).
+    runs_skipped: int = 0  #: runs short-circuited by a quarantined cell.
+    samples_dropped: int = 0
+    samples_corrupted: int = 0  #: dropped + NaN + saturated samples.
+    quarantined: tuple[QuarantinedCell, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
 
     @property
     def calibration_hit_rate(self) -> float:
@@ -99,7 +130,12 @@ class ShardReport:
 
 @dataclass(frozen=True)
 class CampaignReport:
-    """Aggregate counters of one parallel campaign."""
+    """Aggregate counters of one parallel campaign.
+
+    ``shards`` always holds one report per requested platform, in
+    platform order -- including shards that failed or timed out, so the
+    aggregate accounts for every attempted cell.
+    """
 
     shards: tuple[ShardReport, ...]
     workers: int
@@ -121,13 +157,71 @@ class CampaignReport:
             return 0.0
         return self.shard_seconds / (self.workers * self.wall_seconds)
 
+    # -- resilience aggregates ----------------------------------------
+
+    @property
+    def ok(self) -> bool:
+        """Whether every shard completed (cells may still be dropped)."""
+        return all(shard.ok for shard in self.shards)
+
+    @property
+    def failed_shards(self) -> tuple[ShardReport, ...]:
+        """Shards that failed or timed out (their platforms have no fit)."""
+        return tuple(shard for shard in self.shards if not shard.ok)
+
+    @property
+    def quarantined_cells(self) -> tuple[QuarantinedCell, ...]:
+        """Every retired (benchmark, kernel) cell across all shards."""
+        return tuple(c for shard in self.shards for c in shard.quarantined)
+
+    @property
+    def runs_attempted(self) -> int:
+        return sum(shard.runs_attempted for shard in self.shards)
+
+    @property
+    def runs_failed(self) -> int:
+        return sum(shard.runs_failed for shard in self.shards)
+
+    @property
+    def retries(self) -> int:
+        return sum(shard.retries for shard in self.shards)
+
+    @property
+    def rejected(self) -> int:
+        return sum(shard.rejected for shard in self.shards)
+
+    @property
+    def runs_skipped(self) -> int:
+        return sum(shard.runs_skipped for shard in self.shards)
+
+    @property
+    def samples_dropped(self) -> int:
+        return sum(shard.samples_dropped for shard in self.shards)
+
+    @property
+    def samples_corrupted(self) -> int:
+        return sum(shard.samples_corrupted for shard in self.shards)
+
+    def describe_losses(self) -> str:
+        """Human-readable account of everything that was dropped."""
+        lines = []
+        for shard in self.failed_shards:
+            lines.append(
+                f"shard {shard.platform_id}: {shard.status} ({shard.error})"
+            )
+        for cell in self.quarantined_cells:
+            lines.append(f"quarantined {cell.describe()}")
+        return "\n".join(lines) if lines else "nothing dropped"
+
 
 def run_shard(spec: ShardSpec) -> tuple[FittedPlatform, ShardReport]:
     """Run one platform's full campaign and fit (pool worker body).
 
     Module-level so the process pool can pickle it; also callable
     inline for ``max_workers=1``, which must produce bit-identical
-    results.
+    results.  The shard's fault injector is keyed on the shard seed, so
+    shards sharing one plan corrupt independently yet reproducibly for
+    any worker count.
     """
     started = time.perf_counter()
     config = platform(spec.platform_id)
@@ -135,7 +229,12 @@ def run_shard(spec: ShardSpec) -> tuple[FittedPlatform, ShardReport]:
         config, points_per_octave=spec.points_per_octave
     )
     runner = BenchmarkRunner(
-        config, seed=spec.seed, target_duration=spec.target_duration
+        config,
+        seed=spec.seed,
+        target_duration=spec.target_duration,
+        faults=spec.faults,
+        max_retries=spec.max_retries,
+        retry_backoff=spec.retry_backoff,
     )
     campaign = run_campaign(
         config,
@@ -147,6 +246,7 @@ def run_shard(spec: ShardSpec) -> tuple[FittedPlatform, ShardReport]:
         include_chase=spec.include_chase,
     )
     fitted = fit_campaign(campaign, rng=np.random.default_rng(spec.seed + 1))
+    fault_counters = runner.fault_counters
     report = ShardReport(
         platform_id=spec.platform_id,
         seed=spec.seed,
@@ -154,8 +254,32 @@ def run_shard(spec: ShardSpec) -> tuple[FittedPlatform, ShardReport]:
         calibration_hits=runner.calibration_hits,
         calibration_misses=runner.calibration_misses,
         wall_seconds=time.perf_counter() - started,
+        runs_attempted=runner.runs_attempted,
+        runs_failed=runner.runs_failed,
+        retries=runner.retries,
+        rejected=runner.rejected,
+        runs_skipped=runner.runs_skipped,
+        samples_dropped=fault_counters.samples_dropped,
+        samples_corrupted=fault_counters.samples_corrupted,
+        quarantined=tuple(runner.quarantined),
     )
     return fitted, report
+
+
+def _failed_report(
+    spec: ShardSpec, status: str, error: str, wall_seconds: float
+) -> ShardReport:
+    """The report of a shard that produced no fit."""
+    return ShardReport(
+        platform_id=spec.platform_id,
+        seed=spec.seed,
+        n_runs=0,
+        calibration_hits=0,
+        calibration_misses=0,
+        wall_seconds=wall_seconds,
+        status=status,
+        error=error,
+    )
 
 
 class CampaignRunner:
@@ -176,6 +300,25 @@ class CampaignRunner:
     replicates, points_per_octave, target_duration, include_*:
         Campaign-size knobs, forwarded to every shard (see
         :func:`repro.microbench.suite.run_campaign`).
+    faults:
+        Optional seeded :class:`~repro.faults.plan.FaultPlan` forwarded
+        to every shard.  ``None`` and the all-zero plan leave results
+        bit-for-bit identical to the clean path.
+    max_retries, retry_backoff:
+        Per-run retry budget and backoff under faults (see
+        :class:`~repro.microbench.runner.BenchmarkRunner`).
+    shard_timeout:
+        Deadline in seconds each shard must meet, measured from
+        campaign start.  Shards still unfinished at the deadline are
+        quarantined (status ``"timeout"``) and excluded from the
+        returned fits; under a pool the stragglers are abandoned
+        without waiting.  Inline (``max_workers=1``) a running shard
+        cannot be interrupted, so the deadline is enforced between
+        shards.  ``None`` disables it.
+    shard_fn:
+        The shard execution body (default :func:`run_shard`).  A seam
+        for tests and extensions; must be a picklable module-level
+        callable when a process pool is used.
     """
 
     def __init__(
@@ -190,6 +333,11 @@ class CampaignRunner:
         include_double: bool = True,
         include_cache: bool = True,
         include_chase: bool = True,
+        faults: FaultPlan | None = None,
+        max_retries: int = 2,
+        retry_backoff: float = 0.0,
+        shard_timeout: float | None = None,
+        shard_fn: Callable[[ShardSpec], tuple[FittedPlatform, ShardReport]] = run_shard,
     ) -> None:
         self.platform_ids = tuple(
             PLATFORM_IDS if platform_ids is None else platform_ids
@@ -208,6 +356,8 @@ class CampaignRunner:
             max_workers = min(len(self.platform_ids), os.cpu_count() or 1)
         if max_workers < 1:
             raise ValueError("max_workers must be >= 1")
+        if shard_timeout is not None and not shard_timeout > 0:
+            raise ValueError("shard_timeout must be positive (or None)")
         self.seed = seed
         self.max_workers = max_workers
         self.replicates = replicates
@@ -216,6 +366,11 @@ class CampaignRunner:
         self.include_double = include_double
         self.include_cache = include_cache
         self.include_chase = include_chase
+        self.faults = faults
+        self.max_retries = max_retries
+        self.retry_backoff = retry_backoff
+        self.shard_timeout = shard_timeout
+        self.shard_fn = shard_fn
         self.report: CampaignReport | None = None
 
     def shard_specs(self) -> list[ShardSpec]:
@@ -231,9 +386,97 @@ class CampaignRunner:
                 include_double=self.include_double,
                 include_cache=self.include_cache,
                 include_chase=self.include_chase,
+                faults=self.faults,
+                max_retries=self.max_retries,
+                retry_backoff=self.retry_backoff,
             )
             for pid, shard_seed in zip(self.platform_ids, seeds)
         ]
+
+    def _run_inline(
+        self,
+        specs: list[ShardSpec],
+        started: float,
+        emit: Callable[[str, FittedPlatform | None, ShardReport], None],
+    ) -> None:
+        deadline = (
+            None if self.shard_timeout is None else started + self.shard_timeout
+        )
+        for spec in specs:
+            if deadline is not None and time.perf_counter() >= deadline:
+                emit(
+                    spec.platform_id,
+                    None,
+                    _failed_report(
+                        spec,
+                        "timeout",
+                        f"not started before the {self.shard_timeout:.1f}s "
+                        f"deadline",
+                        0.0,
+                    ),
+                )
+                continue
+            shard_started = time.perf_counter()
+            try:
+                fitted, shard_report = self.shard_fn(spec)
+            except Exception as err:  # shard isolation: one platform down
+                emit(
+                    spec.platform_id,
+                    None,
+                    _failed_report(
+                        spec,
+                        "failed",
+                        f"{type(err).__name__}: {err}",
+                        time.perf_counter() - shard_started,
+                    ),
+                )
+            else:
+                emit(spec.platform_id, fitted, shard_report)
+
+    def _run_pool(
+        self,
+        specs: list[ShardSpec],
+        emit: Callable[[str, FittedPlatform | None, ShardReport], None],
+    ) -> None:
+        workers = min(self.max_workers, len(specs))
+        pool = ProcessPoolExecutor(max_workers=workers)
+        futures = {pool.submit(self.shard_fn, spec): spec for spec in specs}
+        done: set[str] = set()
+        timed_out = False
+        try:
+            for future in as_completed(futures, timeout=self.shard_timeout):
+                spec = futures[future]
+                try:
+                    fitted, shard_report = future.result()
+                except Exception as err:  # worker crashed or shard raised
+                    fitted = None
+                    shard_report = _failed_report(
+                        spec, "failed", f"{type(err).__name__}: {err}", 0.0
+                    )
+                done.add(spec.platform_id)
+                emit(spec.platform_id, fitted, shard_report)
+        except TimeoutError:
+            # Deadline hit: quarantine every unfinished shard.  Queued
+            # futures are cancelled; ones already running on a worker
+            # are abandoned (shutdown below does not wait for them).
+            timed_out = True
+            for future, spec in futures.items():
+                if spec.platform_id in done:
+                    continue
+                future.cancel()
+                emit(
+                    spec.platform_id,
+                    None,
+                    _failed_report(
+                        spec,
+                        "timeout",
+                        f"unfinished at the {self.shard_timeout:.1f}s "
+                        f"deadline",
+                        float(self.shard_timeout or 0.0),
+                    ),
+                )
+        finally:
+            pool.shutdown(wait=not timed_out, cancel_futures=True)
 
     def run(
         self,
@@ -244,31 +487,29 @@ class CampaignRunner:
         ``progress`` (if given) is called with each shard's
         :class:`ShardReport` as it completes -- out of order under a
         pool; the returned dict is always in platform order.  The
-        aggregate :class:`CampaignReport` is stored on
-        :attr:`report`.
+        aggregate :class:`CampaignReport` is stored on :attr:`report`.
+
+        The campaign *never* dies with a shard: a shard that raises,
+        crashes its worker, or misses the deadline is recorded in the
+        report with status ``"failed"``/``"timeout"`` and its platform
+        is simply absent from the returned fits -- graceful degradation
+        with every loss named in :meth:`CampaignReport.describe_losses`.
         """
         specs = self.shard_specs()
         started = time.perf_counter()
-        outcomes: dict[str, tuple[FittedPlatform, ShardReport]] = {}
+        outcomes: dict[str, tuple[FittedPlatform | None, ShardReport]] = {}
+
+        def emit(
+            pid: str, fitted: FittedPlatform | None, shard_report: ShardReport
+        ) -> None:
+            outcomes[pid] = (fitted, shard_report)
+            if progress is not None:
+                progress(shard_report)
+
         if self.max_workers == 1 or len(specs) == 1:
-            for spec in specs:
-                fitted, shard_report = run_shard(spec)
-                outcomes[spec.platform_id] = (fitted, shard_report)
-                if progress is not None:
-                    progress(shard_report)
+            self._run_inline(specs, started, emit)
         else:
-            workers = min(self.max_workers, len(specs))
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = {
-                    pool.submit(run_shard, spec): spec for spec in specs
-                }
-                for future in as_completed(futures):
-                    fitted, shard_report = future.result()
-                    outcomes[futures[future].platform_id] = (
-                        fitted, shard_report
-                    )
-                    if progress is not None:
-                        progress(shard_report)
+            self._run_pool(specs, emit)
         self.report = CampaignReport(
             shards=tuple(
                 outcomes[pid][1] for pid in self.platform_ids
@@ -276,4 +517,8 @@ class CampaignRunner:
             workers=self.max_workers,
             wall_seconds=time.perf_counter() - started,
         )
-        return {pid: outcomes[pid][0] for pid in self.platform_ids}
+        return {
+            pid: outcome[0]
+            for pid in self.platform_ids
+            if (outcome := outcomes[pid])[0] is not None
+        }

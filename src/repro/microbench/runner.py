@@ -6,23 +6,43 @@ downstream consumes.  Like the real microbenchmarks it *calibrates*
 each kernel to a target wall time (long enough for the 1024 Hz sampler
 to see many samples, short enough to keep campaigns fast) using a
 noise-free dry run, then executes the scaled kernel for real.
+
+Under an active :class:`~repro.faults.plan.FaultPlan` the runner also
+carries the *resilient execution path* a real rig operator needs:
+per-run validation (:func:`validate_measured_run` rejects non-finite or
+non-positive measurements with a named error), bounded retry with
+exponential backoff, and quarantine of ``(benchmark, kernel)`` cells
+that keep failing -- the campaign proceeds on surviving observations
+and the counters account for every attempt:
+
+``runs_attempted == len(accepted) + runs_failed`` and
+``runs_failed == retries + len(quarantined)``.
 """
 
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
 
+from ..faults.errors import CorruptObservationError, InjectedRunFailureError, RigFaultError
+from ..faults.injector import FaultCounters, FaultInjector
+from ..faults.plan import FaultPlan
 from ..machine.config import PlatformConfig
 from ..machine.engine import Engine
 from ..machine.kernel import KernelSpec
-from ..measurement.energy import MeasurementRig
+from ..measurement.energy import MeasuredRun, MeasurementRig
 from ..measurement.powermon import PowerMon
 
-__all__ = ["Observation", "BenchmarkRunner"]
+__all__ = [
+    "Observation",
+    "QuarantinedCell",
+    "validate_measured_run",
+    "BenchmarkRunner",
+]
 
 
 @dataclass(frozen=True)
@@ -100,6 +120,48 @@ class Observation:
         return self.energy / total
 
 
+@dataclass(frozen=True)
+class QuarantinedCell:
+    """A ``(benchmark, kernel)`` cell retired after persistent failures."""
+
+    platform: str
+    benchmark: str
+    kernel: str
+    attempts: int  #: how many attempts the cell burned before retiring.
+    last_error: str  #: message of the final failure.
+
+    @property
+    def key(self) -> tuple[str, str]:
+        return (self.benchmark, self.kernel)
+
+    def describe(self) -> str:
+        return (
+            f"{self.benchmark}/{self.kernel} on {self.platform} "
+            f"({self.attempts} attempts; last: {self.last_error})"
+        )
+
+
+def validate_measured_run(measured: MeasuredRun, run: str) -> None:
+    """Per-run validation: reject corrupt measurements by name.
+
+    A real campaign pipeline sanity-checks every record before it joins
+    the fit; NaN ADC words, saturated-to-zero channels or desync bad
+    enough to break the estimator all surface here as
+    :class:`~repro.faults.errors.CorruptObservationError`.
+    """
+    for label, value in (
+        ("wall_time", measured.wall_time),
+        ("energy", measured.energy),
+        ("avg_power", measured.avg_power),
+    ):
+        if not math.isfinite(value):
+            raise CorruptObservationError(run, f"{label} is {value!r}")
+        if not value > 0:
+            raise CorruptObservationError(
+                run, f"{label} must be positive, got {value!r}"
+            )
+
+
 class BenchmarkRunner:
     """Runs kernels on one platform and measures them with the rig.
 
@@ -113,6 +175,18 @@ class BenchmarkRunner:
         Wall time each kernel is calibrated to (seconds).
     powermon:
         Custom instrument (ablations swap in different sampling rates).
+    faults:
+        Optional seeded rig-fault plan.  ``None`` (and any all-zero
+        plan) leaves every execution path bit-for-bit unchanged; an
+        active plan corrupts measurements at the instrument boundary
+        and enables the resilient retry/quarantine machinery in
+        :meth:`execute_resilient` / :meth:`execute_replicates`.
+    max_retries:
+        Extra attempts per run after a fault-class failure.
+    retry_backoff:
+        First retry delay in seconds, doubled per subsequent retry
+        (0 disables sleeping -- the twin's faults need no cool-down,
+        but a real rig's USB re-enumeration does).
     """
 
     def __init__(
@@ -122,21 +196,47 @@ class BenchmarkRunner:
         seed: int | None = 0,
         target_duration: float = 0.25,
         powermon: PowerMon | None = None,
+        faults: FaultPlan | None = None,
+        max_retries: int = 2,
+        retry_backoff: float = 0.0,
     ) -> None:
         if not target_duration > 0:
             raise ValueError("target_duration must be positive")
+        if max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if retry_backoff < 0:
+            raise ValueError("retry_backoff must be non-negative")
         self.config = config
         self.target_duration = target_duration
         rng = None if seed is None else np.random.default_rng(seed)
         self.engine = Engine(config, rng)
         self._calibration_engine = Engine(config, rng=None)
-        self.rig = MeasurementRig(config, powermon)
+        self.injector = (
+            None if faults is None else FaultInjector(faults, key=seed)
+        )
+        self.rig = MeasurementRig(config, powermon, faults=self.injector)
+        self.max_retries = max_retries
+        self.retry_backoff = retry_backoff
         # Calibration dry-runs are deterministic per kernel *shape*, so
         # replicated runs (and repeated sweeps over the same grid) can
         # reuse the factor instead of re-running the noise-free engine.
         self._calibration_cache: dict[tuple, float] = {}
         self.calibration_hits = 0
         self.calibration_misses = 0
+        # Resilience accounting (see the accounting identity in the
+        # module docstring).
+        self.runs_attempted = 0
+        self.runs_failed = 0
+        self.retries = 0
+        self.rejected = 0  #: validation failures (subset of runs_failed).
+        self.runs_skipped = 0  #: calls short-circuited by quarantine.
+        self.quarantined: list[QuarantinedCell] = []
+        self._quarantined_keys: set[tuple[str, str]] = set()
+
+    @property
+    def fault_counters(self) -> FaultCounters:
+        """The injector's corruption totals (zeros when fault-free)."""
+        return self.injector.counters if self.injector else FaultCounters()
 
     @staticmethod
     def _shape_key(kernel: KernelSpec) -> tuple:
@@ -194,13 +294,37 @@ class BenchmarkRunner:
         self.calibration_misses += len(todo)
         return len(todo)
 
+    @staticmethod
+    def _run_name(kernel: KernelSpec, benchmark: str, replicate: int) -> str:
+        return f"{benchmark}/{kernel.name}#r{replicate}"
+
     def execute(
         self, kernel: KernelSpec, benchmark: str, *, replicate: int = 0
     ) -> Observation:
-        """Calibrate, run and measure one kernel."""
+        """Calibrate, run and measure one kernel (a single attempt).
+
+        Under an active fault plan this may raise a
+        :class:`~repro.faults.errors.RigFaultError` subclass -- an
+        injected whole-run failure, an all-dropped channel, or a
+        measurement that fails validation.  Fault-free behaviour is
+        unchanged.
+        """
+        self.runs_attempted += 1
+        run = self._run_name(kernel, benchmark, replicate)
         calibrated = self.calibrate(kernel)
         result = self.engine.run(calibrated)
+        inject = self.injector is not None and self.injector.active
+        if inject and self.injector.fail_run(run):
+            # The run executed (the engine's noise stream advanced, as a
+            # re-run on a real rig would) but the rig lost it.
+            raise InjectedRunFailureError(run)
         measured = self.rig.measure(result.trace)
+        if inject:
+            try:
+                validate_measured_run(measured, run)
+            except CorruptObservationError:
+                self.rejected += 1
+                raise
         return Observation(
             platform=self.config.name,
             benchmark=benchmark,
@@ -212,12 +336,67 @@ class BenchmarkRunner:
             replicate=replicate,
         )
 
+    def execute_resilient(
+        self, kernel: KernelSpec, benchmark: str, *, replicate: int = 0
+    ) -> Observation | None:
+        """Execute with bounded retry, backoff and quarantine.
+
+        Returns the observation, or ``None`` when the run was lost:
+        either its cell is already quarantined (skipped without an
+        attempt) or every attempt failed, which quarantines the
+        ``(benchmark, kernel)`` cell for the rest of the campaign.
+        Only :class:`~repro.faults.errors.RigFaultError` failures are
+        retried; anything else is a bug and propagates.
+        """
+        key = (benchmark, kernel.name)
+        if key in self._quarantined_keys:
+            self.runs_skipped += 1
+            return None
+        delay = self.retry_backoff
+        last_error: RigFaultError | None = None
+        for attempt in range(self.max_retries + 1):
+            if attempt > 0:
+                self.retries += 1
+                if delay > 0:
+                    time.sleep(delay)
+                    delay *= 2.0
+            try:
+                return self.execute(kernel, benchmark, replicate=replicate)
+            except RigFaultError as err:
+                self.runs_failed += 1
+                last_error = err
+        self._quarantined_keys.add(key)
+        self.quarantined.append(
+            QuarantinedCell(
+                platform=self.config.name,
+                benchmark=benchmark,
+                kernel=kernel.name,
+                attempts=self.max_retries + 1,
+                last_error=str(last_error),
+            )
+        )
+        return None
+
     def execute_replicates(
         self, kernel: KernelSpec, benchmark: str, replicates: int
     ) -> list[Observation]:
-        """Run the same kernel several times (distinct noise draws)."""
+        """Run the same kernel several times (distinct noise draws).
+
+        With faults enabled, lost replicates are simply absent from the
+        returned list (possibly leaving it empty) and accounted for in
+        the runner's counters -- graceful degradation rather than a
+        dead sweep.
+        """
         if replicates < 1:
             raise ValueError("replicates must be >= 1")
-        return [
-            self.execute(kernel, benchmark, replicate=r) for r in range(replicates)
-        ]
+        if self.injector is None or not self.injector.active:
+            return [
+                self.execute(kernel, benchmark, replicate=r)
+                for r in range(replicates)
+            ]
+        out = []
+        for r in range(replicates):
+            obs = self.execute_resilient(kernel, benchmark, replicate=r)
+            if obs is not None:
+                out.append(obs)
+        return out

@@ -18,6 +18,7 @@ import numpy as np
 
 from ..core.fitting import FitObservations, ModelFit, fit_machine
 from ..core.params import CacheLevelParams, MachineParams, RandomAccessParams
+from ..faults.plan import FaultPlan
 from ..machine.config import PlatformConfig
 from ..machine.kernel import DRAM
 from ..measurement.powermon import PowerMon
@@ -25,7 +26,7 @@ from .cachebench import cache_sweep
 from .intensity import intensity_sweep
 from .peak import peak_flops, peak_stream, sustained_bandwidth, sustained_flops
 from .pointer_chase import chase_sweep
-from .runner import BenchmarkRunner, Observation
+from .runner import BenchmarkRunner, Observation, QuarantinedCell
 
 __all__ = [
     "Campaign",
@@ -48,6 +49,10 @@ class Campaign:
     peak_single: list[Observation] = field(default_factory=list)
     peak_double: list[Observation] = field(default_factory=list)
     stream_obs: list[Observation] = field(default_factory=list)
+    #: Cells the resilient execution path retired (empty when fault-free);
+    #: the fit proceeds on the surviving observations and reporting names
+    #: what was dropped.
+    quarantined: tuple[QuarantinedCell, ...] = ()
 
     @property
     def single_precision_runs(self) -> list[Observation]:
@@ -85,13 +90,19 @@ def run_campaign(
     include_cache: bool = True,
     include_chase: bool = True,
     runner: BenchmarkRunner | None = None,
+    faults: FaultPlan | None = None,
+    max_retries: int = 2,
 ) -> Campaign:
     """Run the full Section IV benchmark suite on one platform.
 
     Pass a preconstructed ``runner`` to reuse its calibration cache or
     to inspect its counters afterwards (the parallel campaign shards
-    do); ``seed``, ``target_duration`` and ``powermon`` are then taken
-    from it and the keyword values are ignored.
+    do); ``seed``, ``target_duration``, ``powermon``, ``faults`` and
+    ``max_retries`` are then taken from it and the keyword values are
+    ignored.  Under an active fault plan, runs the resilient path:
+    persistently failing cells are quarantined (recorded on
+    :attr:`Campaign.quarantined`) and the campaign completes on what
+    survives.
     """
     if runner is None:
         runner = BenchmarkRunner(
@@ -99,6 +110,8 @@ def run_campaign(
             seed=seed,
             target_duration=target_duration,
             powermon=powermon,
+            faults=faults,
+            max_retries=max_retries,
         )
     single = intensity_sweep(
         runner, intensities, replicates=replicates, precision="single"
@@ -128,6 +141,7 @@ def run_campaign(
         peak_single=peaks_s,
         peak_double=peaks_d,
         stream_obs=stream,
+        quarantined=tuple(runner.quarantined),
     )
 
 
@@ -204,6 +218,16 @@ class FittedPlatform:
             if self.sustained_flops_double is None
             else 1.0 / self.sustained_flops_double
         )
+        if tau_d is None or self.eps_flop_double is None:
+            # Quarantined double-precision cells can leave one of the
+            # pair unmeasured; MachineParams requires both or neither.
+            return replace(
+                base,
+                tau_flop_double=None,
+                eps_flop_double=None,
+                caches=self.caches,
+                description=f"fitted from {self.campaign.n_runs} runs",
+            )
         return replace(
             base,
             tau_flop_double=tau_d,
@@ -253,7 +277,10 @@ def fit_campaign(
             rng=rng,
         )
         eps_d = double_fit.params.eps_flop
-        sustained_d = sustained_flops(campaign.peak_double)
+        # Peaks can be empty when faults quarantined every replicate;
+        # the fit then degrades to single precision only.
+        if campaign.peak_double:
+            sustained_d = sustained_flops(campaign.peak_double)
 
     return FittedPlatform(
         config=config,

@@ -26,6 +26,16 @@ from repro.experiments.common import CampaignSettings, run_all_fits
 from repro.machine.platforms import all_platforms, platform
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="regenerate tests/data/golden_fits.json from the current "
+        "code instead of comparing against it",
+    )
+
+
 @pytest.fixture(scope="session")
 def platforms():
     """All twelve platform configs."""

@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.faults import FaultInjector, FaultPlan, TruncatedSessionError
 from repro.machine.engine import Engine
 from repro.machine.kernel import DRAM, KernelSpec
 from repro.machine.platforms import platform
@@ -137,3 +138,120 @@ class TestSessionEndToEnd:
             engine.run_session(
                 [KernelSpec(name="k", flops=1e9)], idle_gap=0.0
             )
+
+
+TRUE_WINDOWS = [Window(0.1, 0.3), Window(0.5, 0.6)]
+
+
+def assert_recall(windows, min_overlap=0.9):
+    """Both true runs are found, each covered to at least min_overlap."""
+    assert len(windows) == len(TRUE_WINDOWS)
+    for found, truth in zip(windows, TRUE_WINDOWS):
+        assert found.overlap(truth) / truth.duration >= min_overlap
+
+
+class TestDetectionRobustness:
+    """Bounded recall loss under injected rig faults."""
+
+    def test_recall_under_dropout(self):
+        times, power = synthetic_session()
+        injector = FaultInjector(FaultPlan(seed=3, sample_dropout=0.05))
+        assert_recall(detect_windows(*injector.corrupt_channel(
+            "session", times, power
+        )))
+
+    def test_recall_under_jitter(self):
+        times, power = synthetic_session()
+        injector = FaultInjector(FaultPlan(seed=4, timestamp_jitter=1e-3))
+        assert_recall(detect_windows(*injector.corrupt_channel(
+            "session", times, power
+        )))
+
+    def test_recall_under_combined_faults(self):
+        times, power = synthetic_session()
+        injector = FaultInjector(
+            FaultPlan(
+                seed=5,
+                sample_dropout=0.05,
+                timestamp_jitter=5e-4,
+                nan_rate=0.01,
+            )
+        )
+        assert_recall(detect_windows(*injector.corrupt_channel(
+            "session", times, power
+        )))
+
+    def test_nan_samples_do_not_poison_the_threshold(self):
+        times, power = synthetic_session()
+        power = power.copy()
+        power[::37] = np.nan
+        assert_recall(detect_windows(times, power))
+
+    def test_all_nan_signal_is_an_error(self):
+        times, _ = synthetic_session()
+        with pytest.raises(ValueError, match="no finite samples"):
+            detect_windows(times, np.full_like(times, np.nan))
+
+
+class TestTruncatedSessions:
+    @staticmethod
+    def truncated_session():
+        """Like synthetic_session, but the recording stops mid-run:
+        the second run is still active at the final sample."""
+        times = np.arange(0, 0.55, 1e-3)
+        power = np.full_like(times, 10.0)
+        power[(times >= 0.1) & (times < 0.3)] = 100.0
+        power[times >= 0.5] = 100.0
+        return times, power
+
+    def test_truncated_end_raises_named_error(self):
+        times, power = self.truncated_session()
+        with pytest.raises(TruncatedSessionError) as err:
+            detect_windows(times, power)
+        assert err.value.edge == "end"
+        assert isinstance(err.value, ValueError)  # backward compatible.
+
+    def test_truncated_start_raises_named_error(self):
+        times, power = self.truncated_session()
+        with pytest.raises(TruncatedSessionError) as err:
+            detect_windows(times, power[::-1])
+        assert err.value.edge == "start"
+
+    def test_allow_truncated_drops_only_the_partial_window(self):
+        times, power = self.truncated_session()
+        windows = detect_windows(times, power, allow_truncated=True)
+        assert len(windows) == 1  # the complete [0.1, 0.3) run survives.
+        assert windows[0].overlap(Window(0.1, 0.3)) / 0.2 >= 0.9
+
+    def test_all_active_truncated_signal_yields_nothing(self):
+        times = np.arange(0, 0.2, 1e-3)
+        power = np.full_like(times, 100.0)
+        windows = detect_windows(
+            times, power, threshold=50.0, allow_truncated=True
+        )
+        assert windows == []
+
+    def test_measure_session_truncation_fault_sets_flag(self):
+        cfg = platform("gtx-titan")
+        engine = Engine(cfg, rng=np.random.default_rng(2))
+        kernels = [
+            KernelSpec(
+                name=f"k{i}", flops=2e9, traffic={DRAM: 1e9}
+            ).scaled(50)
+            for i in range(3)
+        ]
+        session = engine.run_session(kernels, idle_gap=0.08)
+        clean = measure_session(session.trace)
+        cut = measure_session(
+            session.trace,
+            faults=FaultPlan(
+                seed=1, truncation_rate=1.0, truncation_fraction=0.5
+            ),
+            allow_truncated=True,
+        )
+        assert cut.truncated
+        assert not clean.truncated
+        assert cut.total_duration == pytest.approx(
+            clean.total_duration * 0.5
+        )
+        assert cut.n_runs < clean.n_runs
