@@ -153,6 +153,7 @@ class SessionMeasurement:
     idle_power: float  #: estimated idle floor, W.
     total_duration: float
     truncated: bool = False  #: whether a fault cut the recording short.
+    dropped_windows: int = 0  #: detected windows with no finite sample.
 
     @property
     def n_runs(self) -> int:
@@ -196,12 +197,18 @@ def measure_session(
     channel = measurement.channel("session")
     windows = detect_windows(channel.times, channel.power, **detect_kwargs)
     readings = []
+    dropped = 0
     for w in windows:
         mask = (channel.times >= w.start) & (channel.times <= w.end)
         values = channel.power[mask]
         # NaN ADC readings inside a window must not poison its average.
         clean = values[np.isfinite(values)] if np.any(np.isnan(values)) else values
-        avg = float(np.mean(clean)) if len(clean) else float("nan")
+        if len(clean) == 0:
+            # A fully-corrupt window would yield NaN power/energy and
+            # poison any aggregation over windows: drop it, counted.
+            dropped += 1
+            continue
+        avg = float(np.mean(clean))
         readings.append(
             WindowReading(window=w, avg_power=avg, energy=avg * w.duration)
         )
@@ -212,4 +219,5 @@ def measure_session(
         idle_power=idle,
         total_duration=trace.duration,
         truncated=truncated,
+        dropped_windows=dropped,
     )

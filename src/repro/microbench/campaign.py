@@ -39,6 +39,7 @@ from __future__ import annotations
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
@@ -455,7 +456,9 @@ class CampaignRunner:
                     )
                 done.add(spec.platform_id)
                 emit(spec.platform_id, fitted, shard_report)
-        except TimeoutError:
+        # On 3.10, as_completed raises concurrent.futures.TimeoutError,
+        # which only became an alias of the builtin in 3.11.
+        except (TimeoutError, FuturesTimeoutError):
             # Deadline hit: quarantine every unfinished shard.  Queued
             # futures are cancelled; ones already running on a worker
             # are abandoned (shutdown below does not wait for them).
@@ -476,7 +479,20 @@ class CampaignRunner:
                     ),
                 )
         finally:
+            # shutdown(wait=False) leaves workers mid-shard alive, and
+            # the executor's atexit hook would join them -- blocking
+            # interpreter exit long past the deadline.  Their futures
+            # are already quarantined above, so kill the stragglers
+            # outright.  Snapshot before shutdown(): it nulls
+            # ``_processes`` even with ``wait=False``.
+            stragglers = (
+                list((getattr(pool, "_processes", None) or {}).values())
+                if timed_out
+                else []
+            )
             pool.shutdown(wait=not timed_out, cancel_futures=True)
+            for proc in stragglers:
+                proc.terminate()
 
     def run(
         self,

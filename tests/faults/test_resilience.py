@@ -10,6 +10,9 @@ run is ever silently lost -- the acceptance bar for operating a flaky
 rig.
 """
 
+import subprocess
+import sys
+import textwrap
 import time
 
 import pytest
@@ -228,6 +231,37 @@ class TestShardIsolation:
         assert elapsed < 1.4  # did not wait out the 1.5s sleepers.
         assert all(s.status == "timeout" for s in runner.report.shards)
         assert "deadline" in runner.report.shards[0].error
+
+    def test_deadline_stragglers_do_not_block_interpreter_exit(
+        self, tmp_path
+    ):
+        # Regression: shutdown(wait=False) leaves hung workers for the
+        # executor's atexit join, so without terminating them run()
+        # returns on time but the *interpreter* hangs until the shard
+        # finishes (30s here).
+        script = tmp_path / "hang.py"
+        script.write_text(textwrap.dedent("""\
+            import time
+            from repro.microbench.campaign import CampaignRunner
+
+            def hung_shard(spec):
+                time.sleep(30.0)
+
+            if __name__ == "__main__":
+                CampaignRunner(
+                    ("gtx-titan", "nuc-gpu"),
+                    seed=2014,
+                    shard_fn=hung_shard,
+                    max_workers=2,
+                    shard_timeout=0.5,
+                ).run()
+        """))
+        started = time.perf_counter()
+        proc = subprocess.run(
+            [sys.executable, str(script)], capture_output=True, timeout=25
+        )
+        assert proc.returncode == 0, proc.stderr.decode()
+        assert time.perf_counter() - started < 15.0
 
     def test_inline_deadline_skips_unstarted_shards(self):
         runner = quick_runner(

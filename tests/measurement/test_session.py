@@ -255,3 +255,27 @@ class TestTruncatedSessions:
             clean.total_duration * 0.5
         )
         assert cut.n_runs < clean.n_runs
+
+
+class TestCorruptWindows:
+    def test_fully_nan_window_is_dropped_and_counted(self, monkeypatch):
+        import repro.measurement.session as session_module
+
+        # Two runs; the second one's samples all read NaN (dead ADC).
+        trace = PowerTrace(
+            np.array([0.0, 0.1, 0.3, 0.5, 0.6, 0.7]),
+            np.array([10.0, 100.0, 10.0, np.nan, 10.0]),
+        )
+        # Threshold detection never flags NaN samples as active, so
+        # force both windows through -- as a desynced second channel or
+        # a future summed-rail detection path might.
+        monkeypatch.setattr(
+            session_module,
+            "detect_windows",
+            lambda *args, **kwargs: [Window(0.1, 0.3), Window(0.5, 0.6)],
+        )
+        measured = measure_session(trace)
+        assert measured.n_runs == 1
+        assert measured.dropped_windows == 1
+        assert np.isfinite(measured.windows[0].avg_power)
+        assert np.isfinite(measured.windows[0].energy)
