@@ -16,8 +16,10 @@ The package layers four systems (see DESIGN.md):
 * :mod:`repro.measurement` -- a software twin of the PowerMon 2 /
   PCIe-interposer measurement rig;
 
-plus :mod:`repro.experiments` (one module per paper table/figure) and
-:mod:`repro.report` (plain-text rendering).
+plus :mod:`repro.experiments` (one module per paper table/figure),
+:mod:`repro.report` (plain-text rendering), and
+:mod:`repro.telemetry` (span tracing and metrics for campaign
+execution -- a no-op unless enabled, see docs/TELEMETRY.md).
 
 Quickstart
 ----------

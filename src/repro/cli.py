@@ -20,7 +20,14 @@ Commands
     ``--faults "dropout=0.05,run_failure=0.1,seed=7"``; see
     docs/FAULTS.md) and reports retries, rejected observations, and
     quarantined cells; ``--max-retries`` and ``--shard-timeout``
-    bound the resilient execution.
+    bound the resilient execution.  ``--trace out.jsonl`` records
+    per-shard telemetry spans (calibrate/engine/measure/fit), writes
+    them as JSONL (schema in docs/TELEMETRY.md), and prints a
+    flame-style wall-time breakdown; ``--progress`` prints a live
+    per-shard line as each completes.  Example::
+
+        archline campaign gtx-titan nuc-gpu --quick --workers 2 \\
+            --trace trace.jsonl --progress
 ``archline audit``
     Check the paper's own numbers against each other (Table I vs the
     Fig. 5 annotations, etc.).
@@ -150,6 +157,20 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="S",
         help="wall-clock deadline in seconds for the whole campaign; "
         "shards still unfinished are reported as 'timeout'",
+    )
+    camp_p.add_argument(
+        "--trace",
+        default=None,
+        metavar="OUT.JSONL",
+        help="record per-shard telemetry spans, write them as JSONL to "
+        "this path, and print a wall-time breakdown (schema: "
+        "docs/TELEMETRY.md); e.g. --trace trace.jsonl",
+    )
+    camp_p.add_argument(
+        "--progress",
+        action="store_true",
+        help="print a live per-shard progress line to stderr as each "
+        "shard completes",
     )
 
     sub.add_parser(
@@ -284,6 +305,24 @@ def _cmd_bench(platform_id: str, seed: int) -> str:
     return table.render()
 
 
+def _progress_printer(total: int):
+    """A ``CampaignRunner`` progress callback that prints one live line
+    per completed shard to stderr (stdout stays machine-parseable)."""
+    done_count = [0]
+
+    def progress(shard) -> None:
+        done_count[0] += 1
+        print(
+            f"[{done_count[0]}/{total}] {shard.platform_id}: "
+            f"{shard.status} ({shard.n_runs} runs, "
+            f"{shard.wall_seconds:.2f}s)",
+            file=sys.stderr,
+            flush=True,
+        )
+
+    return progress
+
+
 def _cmd_campaign(
     platform_ids: list[str],
     seed: int,
@@ -292,6 +331,8 @@ def _cmd_campaign(
     faults_spec: str | None = None,
     max_retries: int = 2,
     shard_timeout: float | None = None,
+    trace_path: str | None = None,
+    show_progress: bool = False,
 ) -> str:
     from .faults import FaultPlan
     from .microbench.campaign import CampaignRunner
@@ -324,8 +365,12 @@ def _cmd_campaign(
         faults=plan,
         max_retries=max_retries,
         shard_timeout=shard_timeout,
+        trace=trace_path is not None,
     )
-    fits = runner.run()
+    progress = (
+        _progress_printer(len(runner.platform_ids)) if show_progress else None
+    )
+    fits = runner.run(progress=progress)
     report = runner.report
     assert report is not None
     resilient = plan is not None or not report.ok
@@ -373,6 +418,19 @@ def _cmd_campaign(
             f"{report.rejected} rejected, {report.runs_skipped} skipped, "
             f"{len(report.quarantined_cells)} cells quarantined\n"
             + report.describe_losses()
+        )
+    if runner.progress_errors:
+        out += "\n\nprogress callback errors:\n" + "\n".join(
+            runner.progress_errors
+        )
+    if trace_path is not None:
+        from .telemetry.jsonl import write_trace
+        from .telemetry.summary import render_summary
+
+        lines = write_trace(trace_path, report)
+        out += (
+            f"\n\ntrace: {lines} records ({report.trace_bytes} span bytes) "
+            f"-> {trace_path}\n\n" + render_summary(report)
         )
     return out
 
@@ -476,6 +534,8 @@ def main(argv: Sequence[str] | None = None) -> int:
                 faults_spec=args.faults,
                 max_retries=args.max_retries,
                 shard_timeout=args.shard_timeout,
+                trace_path=args.trace,
+                show_progress=args.progress,
             )
         )
         return 0

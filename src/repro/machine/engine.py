@@ -42,6 +42,7 @@ from typing import Iterator, Mapping, Sequence
 import numpy as np
 
 from ..core.model import flop_costs
+from ..telemetry.recorder import NULL_RECORDER, TraceRecorder
 from .config import PlatformConfig, smooth_max
 from .governor import run_governor
 from .kernel import DRAM, KernelSpec
@@ -213,13 +214,22 @@ class Engine:
         reproducible campaigns; ``None`` disables every stochastic
         effect (noise and interference), leaving only the deterministic
         second-order physics.
+    recorder:
+        Optional :class:`~repro.telemetry.recorder.TraceRecorder`;
+        :meth:`run` and :meth:`run_batch` record spans on it.  The
+        default no-op recorder never touches ``rng``, so traced and
+        untraced executions are bit-for-bit identical.
     """
 
     def __init__(
-        self, config: PlatformConfig, rng: np.random.Generator | None = None
+        self,
+        config: PlatformConfig,
+        rng: np.random.Generator | None = None,
+        recorder: TraceRecorder | None = None,
     ) -> None:
         self.config = config
         self.rng = rng
+        self.recorder = NULL_RECORDER if recorder is None else recorder
         self._level_costs = self._build_level_costs()
         #: Canonical accumulation order for per-level sums: DRAM first,
         #: then caches as the platform declares them.  Both the scalar
@@ -387,6 +397,10 @@ class Engine:
 
     def run(self, kernel: KernelSpec) -> RunResult:
         """Execute one kernel and return its ground-truth result."""
+        with self.recorder.span("engine", kernel=kernel.name):
+            return self._run(kernel)
+
+    def _run(self, kernel: KernelSpec) -> RunResult:
         config = self.config
         truth = config.truth
         effects = config.effects
@@ -447,6 +461,10 @@ class Engine:
         keeps the scalar path usable as the reference oracle.
         """
         kernels = tuple(kernels)
+        with self.recorder.span("engine_batch", n=len(kernels)):
+            return self._run_batch(kernels)
+
+    def _run_batch(self, kernels: tuple[KernelSpec, ...]) -> BatchResult:
         if self.rng is not None:
             return BatchResult.from_results(
                 kernels, [self.run(kernel) for kernel in kernels]

@@ -19,8 +19,19 @@ reproducible regardless of worker count:
   through the vectorised :meth:`~repro.machine.engine.Engine.run_batch`
   path.
 * **Counters.**  Every shard reports its run count, calibration
-  hit/miss counters, wall time and fault/retry/quarantine totals; the
-  aggregate lands in :attr:`CampaignRunner.report`.
+  hit/miss counters, wall time, fault/retry/quarantine totals and
+  backoff-sleep seconds; the aggregate lands in
+  :attr:`CampaignRunner.report`, whose ``workers`` field records the
+  *actual* pool width so ``parallel_efficiency`` is normalised
+  honestly.
+* **Telemetry.**  With ``trace=True`` every shard records nested
+  spans (shard -> campaign -> sweep -> run -> calibrate / engine /
+  measure / validate, plus per-model fit spans) on a
+  :class:`~repro.telemetry.recorder.TraceRecorder`; the spans ship
+  back inside each :class:`ShardReport` and can be exported as JSONL
+  (:mod:`repro.telemetry.jsonl`) or rendered as a flame-style
+  wall-time breakdown (:mod:`repro.telemetry.summary`).  The default
+  no-op recorder leaves results bit-for-bit identical.
 * **Resilience.**  A shard that raises, crashes its worker process or
   misses the ``shard_timeout`` deadline is quarantined -- recorded in
   the report with a named status and excluded from the returned fits
@@ -47,6 +58,8 @@ import numpy as np
 
 from ..faults.plan import FaultPlan
 from ..machine.platforms import PLATFORM_IDS, platform
+from ..telemetry.jsonl import trace_bytes as _trace_bytes
+from ..telemetry.recorder import NULL_RECORDER, SpanRecord, TraceRecorder
 from .intensity import balanced_intensities
 from .runner import BenchmarkRunner, QuarantinedCell
 from .suite import FittedPlatform, fit_campaign, run_campaign
@@ -90,6 +103,7 @@ class ShardSpec:
     faults: FaultPlan | None = None  #: seeded rig-fault model (None = clean).
     max_retries: int = 2  #: per-run retry budget under faults.
     retry_backoff: float = 0.0  #: first retry delay, s (doubles per retry).
+    trace: bool = False  #: record telemetry spans for this shard.
 
 
 @dataclass(frozen=True)
@@ -118,6 +132,11 @@ class ShardReport:
     samples_dropped: int = 0
     samples_corrupted: int = 0  #: dropped + NaN + saturated samples.
     quarantined: tuple[QuarantinedCell, ...] = ()
+    backoff_seconds: float = 0.0  #: seconds slept in retry backoff.
+    trace_bytes: int = 0  #: JSONL-encoded size of ``spans``, bytes.
+    #: Telemetry spans this shard recorded (empty unless the spec set
+    #: ``trace``); picklable, so they cross the pool boundary intact.
+    spans: tuple[SpanRecord, ...] = ()
 
     @property
     def ok(self) -> bool:
@@ -139,6 +158,10 @@ class CampaignReport:
     """
 
     shards: tuple[ShardReport, ...]
+    #: The *actual* pool width: ``min(max_workers, len(shards))`` for a
+    #: pool run, 1 inline -- not the requested ``max_workers``, which
+    #: would understate :attr:`parallel_efficiency` whenever fewer
+    #: shards than workers exist.
     workers: int
     wall_seconds: float  #: end-to-end wall time of the whole campaign.
 
@@ -203,6 +226,21 @@ class CampaignReport:
     def samples_corrupted(self) -> int:
         return sum(shard.samples_corrupted for shard in self.shards)
 
+    # -- telemetry aggregates -----------------------------------------
+
+    @property
+    def backoff_seconds(self) -> float:
+        return sum(shard.backoff_seconds for shard in self.shards)
+
+    @property
+    def trace_bytes(self) -> int:
+        return sum(shard.trace_bytes for shard in self.shards)
+
+    @property
+    def traced(self) -> bool:
+        """Whether any shard shipped telemetry spans."""
+        return any(shard.spans for shard in self.shards)
+
     def describe_losses(self) -> str:
         """Human-readable account of everything that was dropped."""
         lines = []
@@ -223,8 +261,17 @@ def run_shard(spec: ShardSpec) -> tuple[FittedPlatform, ShardReport]:
     results.  The shard's fault injector is keyed on the shard seed, so
     shards sharing one plan corrupt independently yet reproducibly for
     any worker count.
+
+    With ``spec.trace`` set the whole shard runs under a
+    :class:`~repro.telemetry.recorder.TraceRecorder` -- a ``shard``
+    root span containing the ``campaign`` (per-sweep, per-run,
+    calibrate/engine/measure/validate) and ``fit`` subtrees -- and the
+    resulting spans travel back inside the :class:`ShardReport`.  The
+    recorder never touches the random streams, so traced and untraced
+    shards produce bit-identical fits.
     """
     started = time.perf_counter()
+    recorder = TraceRecorder() if spec.trace else NULL_RECORDER
     config = platform(spec.platform_id)
     grid = balanced_intensities(
         config, points_per_octave=spec.points_per_octave
@@ -236,17 +283,25 @@ def run_shard(spec: ShardSpec) -> tuple[FittedPlatform, ShardReport]:
         faults=spec.faults,
         max_retries=spec.max_retries,
         retry_backoff=spec.retry_backoff,
+        recorder=recorder,
     )
-    campaign = run_campaign(
-        config,
-        runner=runner,
-        replicates=spec.replicates,
-        intensities=grid,
-        include_double=spec.include_double,
-        include_cache=spec.include_cache,
-        include_chase=spec.include_chase,
-    )
-    fitted = fit_campaign(campaign, rng=np.random.default_rng(spec.seed + 1))
+    with recorder.span("shard", platform=spec.platform_id):
+        with recorder.span("campaign"):
+            campaign = run_campaign(
+                config,
+                runner=runner,
+                replicates=spec.replicates,
+                intensities=grid,
+                include_double=spec.include_double,
+                include_cache=spec.include_cache,
+                include_chase=spec.include_chase,
+            )
+        fitted = fit_campaign(
+            campaign,
+            rng=np.random.default_rng(spec.seed + 1),
+            recorder=recorder,
+        )
+    spans = recorder.records()
     fault_counters = runner.fault_counters
     report = ShardReport(
         platform_id=spec.platform_id,
@@ -263,6 +318,9 @@ def run_shard(spec: ShardSpec) -> tuple[FittedPlatform, ShardReport]:
         samples_dropped=fault_counters.samples_dropped,
         samples_corrupted=fault_counters.samples_corrupted,
         quarantined=tuple(runner.quarantined),
+        backoff_seconds=runner.backoff_seconds,
+        trace_bytes=_trace_bytes(spec.platform_id, spans),
+        spans=spans,
     )
     return fitted, report
 
@@ -320,6 +378,13 @@ class CampaignRunner:
         The shard execution body (default :func:`run_shard`).  A seam
         for tests and extensions; must be a picklable module-level
         callable when a process pool is used.
+    trace:
+        Record telemetry spans in every shard (see
+        :func:`run_shard`); the spans come back inside each
+        :class:`ShardReport` and can be exported with
+        :func:`repro.telemetry.jsonl.write_trace` or rendered with
+        :func:`repro.telemetry.summary.render_summary`.  Off by
+        default -- the no-op recorder keeps results bit-identical.
     """
 
     def __init__(
@@ -339,6 +404,7 @@ class CampaignRunner:
         retry_backoff: float = 0.0,
         shard_timeout: float | None = None,
         shard_fn: Callable[[ShardSpec], tuple[FittedPlatform, ShardReport]] = run_shard,
+        trace: bool = False,
     ) -> None:
         self.platform_ids = tuple(
             PLATFORM_IDS if platform_ids is None else platform_ids
@@ -372,7 +438,12 @@ class CampaignRunner:
         self.retry_backoff = retry_backoff
         self.shard_timeout = shard_timeout
         self.shard_fn = shard_fn
+        self.trace = trace
         self.report: CampaignReport | None = None
+        #: Errors raised by the user ``progress`` callback during the
+        #: last :meth:`run` (swallowed so they cannot abandon the
+        #: pool), as ``"platform: ExcType: message"`` strings.
+        self.progress_errors: tuple[str, ...] = ()
 
     def shard_specs(self) -> list[ShardSpec]:
         """The shard list, in platform order with spawned seeds."""
@@ -390,6 +461,7 @@ class CampaignRunner:
                 faults=self.faults,
                 max_retries=self.max_retries,
                 retry_backoff=self.retry_backoff,
+                trace=self.trace,
             )
             for pid, shard_seed in zip(self.platform_ids, seeds)
         ]
@@ -438,9 +510,15 @@ class CampaignRunner:
         self,
         specs: list[ShardSpec],
         emit: Callable[[str, FittedPlatform | None, ShardReport], None],
+        workers: int,
     ) -> None:
-        workers = min(self.max_workers, len(specs))
         pool = ProcessPoolExecutor(max_workers=workers)
+        # Failed and timed-out shards cannot report their own wall
+        # time, so they are accounted from submission: the time a
+        # shard burned (queueing included) before the campaign gave up
+        # on it.  Reporting 0.0 would silently drop that cost from
+        # ``CampaignReport.shard_seconds``.
+        submitted = time.perf_counter()
         futures = {pool.submit(self.shard_fn, spec): spec for spec in specs}
         done: set[str] = set()
         timed_out = False
@@ -452,7 +530,10 @@ class CampaignRunner:
                 except Exception as err:  # worker crashed or shard raised
                     fitted = None
                     shard_report = _failed_report(
-                        spec, "failed", f"{type(err).__name__}: {err}", 0.0
+                        spec,
+                        "failed",
+                        f"{type(err).__name__}: {err}",
+                        time.perf_counter() - submitted,
                     )
                 done.add(spec.platform_id)
                 emit(spec.platform_id, fitted, shard_report)
@@ -462,7 +543,11 @@ class CampaignRunner:
             # Deadline hit: quarantine every unfinished shard.  Queued
             # futures are cancelled; ones already running on a worker
             # are abandoned (shutdown below does not wait for them).
+            # Each gets the elapsed-at-deadline time, not the nominal
+            # ``shard_timeout``: the deadline may fire late, and the
+            # report should account for time actually burned.
             timed_out = True
+            elapsed = time.perf_counter() - submitted
             for future, spec in futures.items():
                 if spec.platform_id in done:
                     continue
@@ -475,7 +560,7 @@ class CampaignRunner:
                         "timeout",
                         f"unfinished at the {self.shard_timeout:.1f}s "
                         f"deadline",
-                        float(self.shard_timeout or 0.0),
+                        elapsed,
                     ),
                 )
         finally:
@@ -510,27 +595,45 @@ class CampaignRunner:
         report with status ``"failed"``/``"timeout"`` and its platform
         is simply absent from the returned fits -- graceful degradation
         with every loss named in :meth:`CampaignReport.describe_losses`.
+        The same isolation covers the ``progress`` callback itself: an
+        exception it raises mid-campaign would otherwise abandon live
+        pool workers and leave :attr:`report` unset, so it is caught,
+        recorded on :attr:`progress_errors`, and the campaign carries
+        on.
         """
         specs = self.shard_specs()
+        inline = self.max_workers == 1 or len(specs) == 1
+        # The *actual* pool width -- what parallel_efficiency must be
+        # normalised by.  A pool never grows wider than the shard list,
+        # and the inline path is one worker regardless of max_workers.
+        workers = 1 if inline else min(self.max_workers, len(specs))
         started = time.perf_counter()
         outcomes: dict[str, tuple[FittedPlatform | None, ShardReport]] = {}
+        progress_errors: list[str] = []
+        self.progress_errors = ()
 
         def emit(
             pid: str, fitted: FittedPlatform | None, shard_report: ShardReport
         ) -> None:
             outcomes[pid] = (fitted, shard_report)
             if progress is not None:
-                progress(shard_report)
+                try:
+                    progress(shard_report)
+                except Exception as err:
+                    progress_errors.append(
+                        f"{pid}: {type(err).__name__}: {err}"
+                    )
 
-        if self.max_workers == 1 or len(specs) == 1:
+        if inline:
             self._run_inline(specs, started, emit)
         else:
-            self._run_pool(specs, emit)
+            self._run_pool(specs, emit, workers)
+        self.progress_errors = tuple(progress_errors)
         self.report = CampaignReport(
             shards=tuple(
                 outcomes[pid][1] for pid in self.platform_ids
             ),
-            workers=self.max_workers,
+            workers=workers,
             wall_seconds=time.perf_counter() - started,
         )
         return {

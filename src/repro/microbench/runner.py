@@ -36,6 +36,7 @@ from ..machine.engine import Engine
 from ..machine.kernel import KernelSpec
 from ..measurement.energy import MeasuredRun, MeasurementRig
 from ..measurement.powermon import PowerMon
+from ..telemetry.recorder import NULL_RECORDER, TraceRecorder
 
 __all__ = [
     "Observation",
@@ -187,6 +188,14 @@ class BenchmarkRunner:
         First retry delay in seconds, doubled per subsequent retry
         (0 disables sleeping -- the twin's faults need no cool-down,
         but a real rig's USB re-enumeration does).
+    recorder:
+        Optional :class:`~repro.telemetry.recorder.TraceRecorder`.
+        Every execution records nested spans (``run`` containing
+        ``calibrate`` -> ``engine`` -> ``measure`` -> ``validate``)
+        and the ``backoff_seconds`` counter; both engines share the
+        recorder, so calibration dry-runs show up under ``calibrate``.
+        The default no-op recorder leaves execution bit-for-bit
+        unchanged.
     """
 
     def __init__(
@@ -199,6 +208,7 @@ class BenchmarkRunner:
         faults: FaultPlan | None = None,
         max_retries: int = 2,
         retry_backoff: float = 0.0,
+        recorder: TraceRecorder | None = None,
     ) -> None:
         if not target_duration > 0:
             raise ValueError("target_duration must be positive")
@@ -208,9 +218,12 @@ class BenchmarkRunner:
             raise ValueError("retry_backoff must be non-negative")
         self.config = config
         self.target_duration = target_duration
+        self.recorder = NULL_RECORDER if recorder is None else recorder
         rng = None if seed is None else np.random.default_rng(seed)
-        self.engine = Engine(config, rng)
-        self._calibration_engine = Engine(config, rng=None)
+        self.engine = Engine(config, rng, recorder=self.recorder)
+        self._calibration_engine = Engine(
+            config, rng=None, recorder=self.recorder
+        )
         self.injector = (
             None if faults is None else FaultInjector(faults, key=seed)
         )
@@ -230,6 +243,7 @@ class BenchmarkRunner:
         self.retries = 0
         self.rejected = 0  #: validation failures (subset of runs_failed).
         self.runs_skipped = 0  #: calls short-circuited by quarantine.
+        self.backoff_seconds = 0.0  #: total time slept between retries.
         self.quarantined: list[QuarantinedCell] = []
         self._quarantined_keys: set[tuple[str, str]] = set()
 
@@ -288,7 +302,8 @@ class BenchmarkRunner:
                 todo[key] = kernel
         if not todo:
             return 0
-        batch = self._calibration_engine.run_batch(list(todo.values()))
+        with self.recorder.span("calibrate", primed=len(todo)):
+            batch = self._calibration_engine.run_batch(list(todo.values()))
         for key, wall_time in zip(todo, batch.wall_times):
             self._calibration_cache[key] = self.target_duration / float(wall_time)
         self.calibration_misses += len(todo)
@@ -311,20 +326,26 @@ class BenchmarkRunner:
         """
         self.runs_attempted += 1
         run = self._run_name(kernel, benchmark, replicate)
-        calibrated = self.calibrate(kernel)
-        result = self.engine.run(calibrated)
-        inject = self.injector is not None and self.injector.active
-        if inject and self.injector.fail_run(run):
-            # The run executed (the engine's noise stream advanced, as a
-            # re-run on a real rig would) but the rig lost it.
-            raise InjectedRunFailureError(run)
-        measured = self.rig.measure(result.trace)
-        if inject:
-            try:
-                validate_measured_run(measured, run)
-            except CorruptObservationError:
-                self.rejected += 1
-                raise
+        recorder = self.recorder
+        with recorder.span("run", benchmark=benchmark, kernel=kernel.name):
+            with recorder.span("calibrate"):
+                calibrated = self.calibrate(kernel)
+            # Engine.run records its own "engine" span, nested here.
+            result = self.engine.run(calibrated)
+            inject = self.injector is not None and self.injector.active
+            if inject and self.injector.fail_run(run):
+                # The run executed (the engine's noise stream advanced,
+                # as a re-run on a real rig would) but the rig lost it.
+                raise InjectedRunFailureError(run)
+            with recorder.span("measure"):
+                measured = self.rig.measure(result.trace)
+            if inject:
+                with recorder.span("validate"):
+                    try:
+                        validate_measured_run(measured, run)
+                    except CorruptObservationError:
+                        self.rejected += 1
+                        raise
         return Observation(
             platform=self.config.name,
             benchmark=benchmark,
@@ -358,7 +379,10 @@ class BenchmarkRunner:
             if attempt > 0:
                 self.retries += 1
                 if delay > 0:
-                    time.sleep(delay)
+                    with self.recorder.span("backoff"):
+                        time.sleep(delay)
+                    self.backoff_seconds += delay
+                    self.recorder.add("backoff_seconds", delay)
                     delay *= 2.0
             try:
                 return self.execute(kernel, benchmark, replicate=replicate)

@@ -22,6 +22,7 @@ from ..faults.plan import FaultPlan
 from ..machine.config import PlatformConfig
 from ..machine.kernel import DRAM
 from ..measurement.powermon import PowerMon
+from ..telemetry.recorder import NULL_RECORDER, TraceRecorder
 from .cachebench import cache_sweep
 from .intensity import intensity_sweep
 from .peak import peak_flops, peak_stream, sustained_bandwidth, sustained_flops
@@ -92,17 +93,19 @@ def run_campaign(
     runner: BenchmarkRunner | None = None,
     faults: FaultPlan | None = None,
     max_retries: int = 2,
+    recorder: TraceRecorder | None = None,
 ) -> Campaign:
     """Run the full Section IV benchmark suite on one platform.
 
     Pass a preconstructed ``runner`` to reuse its calibration cache or
     to inspect its counters afterwards (the parallel campaign shards
-    do); ``seed``, ``target_duration``, ``powermon``, ``faults`` and
-    ``max_retries`` are then taken from it and the keyword values are
-    ignored.  Under an active fault plan, runs the resilient path:
-    persistently failing cells are quarantined (recorded on
-    :attr:`Campaign.quarantined`) and the campaign completes on what
-    survives.
+    do); ``seed``, ``target_duration``, ``powermon``, ``faults``,
+    ``max_retries`` and ``recorder`` are then taken from it and the
+    keyword values are ignored.  Under an active fault plan, runs the
+    resilient path: persistently failing cells are quarantined
+    (recorded on :attr:`Campaign.quarantined`) and the campaign
+    completes on what survives.  Each suite stage records a ``sweep``
+    span on the runner's recorder (a no-op by default).
     """
     if runner is None:
         runner = BenchmarkRunner(
@@ -112,26 +115,37 @@ def run_campaign(
             powermon=powermon,
             faults=faults,
             max_retries=max_retries,
+            recorder=recorder,
         )
-    single = intensity_sweep(
-        runner, intensities, replicates=replicates, precision="single"
-    )
+    rec = runner.recorder
+    with rec.span("sweep", benchmark="intensity:single"):
+        single = intensity_sweep(
+            runner, intensities, replicates=replicates, precision="single"
+        )
     double: list[Observation] = []
     if include_double and config.truth.tau_flop_double is not None:
-        double = intensity_sweep(
-            runner, intensities, replicates=replicates, precision="double"
-        )
+        with rec.span("sweep", benchmark="intensity:double"):
+            double = intensity_sweep(
+                runner, intensities, replicates=replicates, precision="double"
+            )
     caches: dict[str, list[Observation]] = {}
     if include_cache:
-        caches = cache_sweep(runner, replicates=replicates)
+        with rec.span("sweep", benchmark="cache"):
+            caches = cache_sweep(runner, replicates=replicates)
     chase: list[Observation] = []
     if include_chase and config.truth.random is not None:
-        chase = chase_sweep(runner, replicates=max(replicates, 2))
-    peaks_s = peak_flops(runner, precision="single", replicates=max(replicates, 2))
-    peaks_d: list[Observation] = []
-    if include_double and config.truth.tau_flop_double is not None:
-        peaks_d = peak_flops(runner, precision="double", replicates=max(replicates, 2))
-    stream = peak_stream(runner, replicates=max(replicates, 2))
+        with rec.span("sweep", benchmark="pointer_chase"):
+            chase = chase_sweep(runner, replicates=max(replicates, 2))
+    with rec.span("sweep", benchmark="peaks"):
+        peaks_s = peak_flops(
+            runner, precision="single", replicates=max(replicates, 2)
+        )
+        peaks_d: list[Observation] = []
+        if include_double and config.truth.tau_flop_double is not None:
+            peaks_d = peak_flops(
+                runner, precision="double", replicates=max(replicates, 2)
+            )
+        stream = peak_stream(runner, replicates=max(replicates, 2))
     return Campaign(
         config=config,
         intensity_single=single,
@@ -252,16 +266,25 @@ def fit_campaign(
     *,
     anchor_times: bool = True,
     rng: np.random.Generator | None = None,
+    recorder: TraceRecorder | None = None,
 ) -> FittedPlatform:
-    """Reproduce the Section V-A fitting procedure on one campaign."""
+    """Reproduce the Section V-A fitting procedure on one campaign.
+
+    ``recorder`` (no-op by default) gets one span per model fit
+    (capped, uncapped, double), so traced campaigns show how much of a
+    shard's wall time the fitting stage consumed.
+    """
+    rec = NULL_RECORDER if recorder is None else recorder
     config = campaign.config
     main_obs = to_fit_observations(campaign.single_precision_runs)
-    capped = fit_machine(
-        main_obs, capped=True, anchor_times=anchor_times, name=config.name, rng=rng
-    )
-    uncapped = fit_machine(
-        main_obs, capped=False, anchor_times=anchor_times, name=config.name, rng=rng
-    )
+    with rec.span("fit", model="capped"):
+        capped = fit_machine(
+            main_obs, capped=True, anchor_times=anchor_times, name=config.name, rng=rng
+        )
+    with rec.span("fit", model="uncapped"):
+        uncapped = fit_machine(
+            main_obs, capped=False, anchor_times=anchor_times, name=config.name, rng=rng
+        )
 
     eps_d: float | None = None
     sustained_d: float | None = None
@@ -269,13 +292,14 @@ def fit_campaign(
         double_obs = to_fit_observations(
             campaign.intensity_double + campaign.peak_double
         )
-        double_fit = fit_machine(
-            double_obs,
-            capped=True,
-            anchor_times=anchor_times,
-            name=f"{config.name} (double)",
-            rng=rng,
-        )
+        with rec.span("fit", model="double"):
+            double_fit = fit_machine(
+                double_obs,
+                capped=True,
+                anchor_times=anchor_times,
+                name=f"{config.name} (double)",
+                rng=rng,
+            )
         eps_d = double_fit.params.eps_flop
         # Peaks can be empty when faults quarantined every replicate;
         # the fit then degrades to single precision only.

@@ -7,6 +7,8 @@ use scaled-down campaigns on a platform subset so the pool smoke test
 stays tier-1 cheap.
 """
 
+import time
+
 import numpy as np
 import pytest
 
@@ -35,6 +37,35 @@ def quick_runner(platform_ids, seed=2014, max_workers=1):
     return CampaignRunner(
         platform_ids, seed=seed, max_workers=max_workers, **QUICK
     )
+
+
+# Module-level shard_fn seams (process pools must pickle them).
+
+def _shard_stub(spec, wall):
+    return None, ShardReport(
+        platform_id=spec.platform_id,
+        seed=spec.seed,
+        n_runs=1,
+        calibration_hits=0,
+        calibration_misses=0,
+        wall_seconds=wall,
+    )
+
+
+def _sleepy_shard(spec):
+    started = time.perf_counter()
+    time.sleep(0.2)
+    return _shard_stub(spec, time.perf_counter() - started)
+
+
+def _failing_shard(spec):
+    time.sleep(0.05)
+    raise RuntimeError("boom")
+
+
+def _hanging_shard(spec):
+    time.sleep(30.0)
+    return _shard_stub(spec, 30.0)
 
 
 class TestShardSeeds:
@@ -131,6 +162,109 @@ class TestCampaignRunner:
             "gtx-titan", "xeon-phi", "nuc-gpu",
         ]
         assert [s.seed for s in specs] == shard_seeds(2014, 3)
+
+
+class TestPoolAccounting:
+    """The report's parallel accounting: actual pool width, burned
+    time on failed/timed-out shards, efficiency bounds."""
+
+    def test_workers_is_actual_pool_width_not_request(self):
+        """max_workers > len(platforms): the pool is capped at the
+        shard count and the report must say so, or
+        parallel_efficiency is understated by workers/len(specs)."""
+        runner = CampaignRunner(
+            ("gtx-titan", "nuc-gpu"), max_workers=8,
+            shard_fn=_sleepy_shard, **QUICK,
+        )
+        runner.run()
+        report = runner.report
+        assert report.workers == 2
+        # Two 0.2s shards on two workers: efficiency is bounded by 1
+        # (pool startup keeps it below), not scaled down by the
+        # requested-but-idle 6 extra workers.
+        assert 0.0 < report.parallel_efficiency <= 1.0
+
+    def test_inline_run_reports_one_worker(self):
+        runner = CampaignRunner(
+            ("gtx-titan", "nuc-gpu"), max_workers=1,
+            shard_fn=lambda spec: _shard_stub(spec, 0.01), **QUICK,
+        )
+        runner.run()
+        assert runner.report.workers == 1
+
+    def test_single_shard_runs_inline_regardless_of_request(self):
+        runner = CampaignRunner(
+            ("gtx-titan",), max_workers=4,
+            shard_fn=lambda spec: _shard_stub(spec, 0.01), **QUICK,
+        )
+        runner.run()
+        assert runner.report.workers == 1
+
+    def test_failed_pool_shards_report_burned_time(self):
+        runner = CampaignRunner(
+            ("gtx-titan", "nuc-gpu"), max_workers=2,
+            shard_fn=_failing_shard, **QUICK,
+        )
+        fits = runner.run()
+        report = runner.report
+        assert fits == {}
+        assert not report.ok
+        for shard in report.shards:
+            assert shard.status == "failed"
+            assert "boom" in shard.error
+            # Each shard slept 0.05s before raising; that time burned.
+            assert shard.wall_seconds > 0.0
+        assert report.shard_seconds > 0.0
+
+    def test_timeout_shards_report_elapsed_not_nominal(self):
+        runner = CampaignRunner(
+            ("gtx-titan", "nuc-gpu"), max_workers=2,
+            shard_fn=_hanging_shard, shard_timeout=0.4, **QUICK,
+        )
+        fits = runner.run()
+        report = runner.report
+        assert fits == {}
+        for shard in report.shards:
+            assert shard.status == "timeout"
+            # Elapsed at the deadline: at least the timeout actually
+            # waited out, nowhere near the 30s the shard would take.
+            assert 0.4 <= shard.wall_seconds < 20.0
+        assert report.shard_seconds > 0.0
+
+
+class TestProgressIsolation:
+    """A user progress callback that raises must not kill the
+    campaign, abandon pool workers, or leave report unset."""
+
+    @staticmethod
+    def _boom(shard_report):
+        raise ValueError("observer crashed")
+
+    def test_inline_progress_exception_recorded(self):
+        runner = quick_runner(("gtx-titan",))
+        fits = runner.run(progress=self._boom)
+        assert set(fits) == {"gtx-titan"}
+        assert runner.report is not None
+        assert runner.report.ok
+        (err,) = runner.progress_errors
+        assert "gtx-titan" in err and "observer crashed" in err
+
+    def test_pool_progress_exception_recorded(self):
+        runner = CampaignRunner(
+            ("gtx-titan", "nuc-gpu"), max_workers=2,
+            shard_fn=_sleepy_shard, **QUICK,
+        )
+        runner.run(progress=self._boom)
+        assert runner.report is not None
+        assert len(runner.progress_errors) == 2
+        assert len(runner.report.shards) == 2
+
+    def test_progress_errors_reset_between_runs(self):
+        runner = quick_runner(("gtx-titan",))
+        runner.run(progress=self._boom)
+        assert runner.progress_errors
+        runner.run()
+        assert runner.progress_errors == ()
 
 
 class TestCalibrationMemoisation:
