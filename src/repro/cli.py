@@ -28,6 +28,11 @@ Commands
 
         archline campaign gtx-titan nuc-gpu --quick --workers 2 \\
             --trace trace.jsonl --progress
+``archline lint [PATH ...]``
+    Run the repo's AST-based static-analysis rules (determinism,
+    pool picklability, fault-exception hygiene, float equality, unit
+    discipline, telemetry hygiene; docs/LINT.md) over ``src`` or the
+    given paths.  Exit code 0 = clean, 1 = findings, 2 = usage error.
 ``archline audit``
     Check the paper's own numbers against each other (Table I vs the
     Fig. 5 annotations, etc.).
@@ -172,6 +177,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="print a live per-shard progress line to stderr as each "
         "shard completes",
     )
+
+    from .lint.cli import build_lint_parser
+
+    build_lint_parser(sub)
 
     sub.add_parser(
         "audit", help="internal-consistency audit of the paper's own numbers"
@@ -539,6 +548,10 @@ def main(argv: Sequence[str] | None = None) -> int:
             )
         )
         return 0
+    if args.command == "lint":
+        from .lint.cli import run_lint
+
+        return run_lint(args)
     if args.command == "audit":
         from .experiments.audit import render_audit
 

@@ -57,6 +57,8 @@ class Workload:
         for field in ("flops", "stream_bytes", "random_accesses"):
             if getattr(self, field) < 0:
                 raise ValueError(f"{field} must be non-negative")
+        # Deliberately unitless emptiness check: the mixed-unit sum only
+        # asks "is there any work at all?".  # archlint: disable=ARCH005
         if self.flops + self.stream_bytes + self.random_accesses == 0:
             raise ValueError("workload must do some work")
 

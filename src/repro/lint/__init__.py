@@ -1,0 +1,37 @@
+"""archlint: repo-specific static analysis over the Python AST.
+
+Generic linters cannot see this repo's load-bearing invariants --
+bit-identical replays from explicitly passed generators, frozen
+picklable dataclasses on the process-pool boundary, rig-fault
+exceptions that must never be silently swallowed, and the physical-unit
+bookkeeping mirroring the paper's theta = (tau, eps, pi1, delta_pi)
+vector.  This package enforces them with a dependency-free rule pack
+(``ARCH001``-``ARCH006``), inline ``# archlint: disable=CODE``
+suppressions, a committed JSON baseline, and text/JSON/GitHub-annotation
+output.  Run it as ``archline lint`` (see docs/LINT.md for the rule
+catalog).
+"""
+
+from __future__ import annotations
+
+from .baseline import load_baseline, write_baseline
+from .context import ModuleContext
+from .engine import lint_paths, lint_source
+from .findings import Finding, Severity
+from .output import render
+from .rules import Rule, all_rules, load_builtin_rules, register
+
+__all__ = [
+    "Finding",
+    "Severity",
+    "ModuleContext",
+    "Rule",
+    "register",
+    "all_rules",
+    "load_builtin_rules",
+    "lint_source",
+    "lint_paths",
+    "render",
+    "load_baseline",
+    "write_baseline",
+]

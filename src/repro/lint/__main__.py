@@ -1,0 +1,7 @@
+"""``python -m repro.lint`` == ``archline lint``."""
+
+import sys
+
+from .cli import main
+
+sys.exit(main())

@@ -1,0 +1,148 @@
+"""The ``archline lint`` subcommand.
+
+Exit codes follow the usual linter contract:
+
+* ``0`` -- clean (no findings after suppressions and baseline),
+* ``1`` -- findings reported,
+* ``2`` -- usage error (unknown path, rule code, format, or a
+  malformed baseline file).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from .baseline import (
+    DEFAULT_BASELINE_NAME,
+    filter_baselined,
+    load_baseline,
+    write_baseline,
+)
+from .engine import lint_paths
+from .output import FORMATS, render
+from .rules import all_rules, load_builtin_rules
+
+
+def build_lint_parser(
+    parent: argparse._SubParsersAction | None = None,
+) -> argparse.ArgumentParser:
+    """The lint argument parser; attaches to ``parent`` when given."""
+    kwargs = dict(
+        description="AST-based static analysis of the repo's determinism, "
+        "picklability and unit-discipline invariants (rules ARCH001-006; "
+        "see docs/LINT.md)",
+    )
+    if parent is None:
+        parser = argparse.ArgumentParser(prog="archline lint", **kwargs)
+    else:
+        parser = parent.add_parser(
+            "lint", help="run the archlint static-analysis rules", **kwargs
+        )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        metavar="PATH",
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=FORMATS,
+        default="text",
+        help="output format (github emits ::error annotations)",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help=f"baseline JSON of grandfathered findings (default: "
+        f"./{DEFAULT_BASELINE_NAME} when it exists)",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline from the current findings and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list registered rules and exit",
+    )
+    return parser
+
+
+def _resolve_baseline_path(arg: str | None) -> Path | None:
+    if arg is not None:
+        return Path(arg)
+    default = Path(DEFAULT_BASELINE_NAME)
+    return default if default.is_file() else None
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    """Execute the lint subcommand from parsed arguments."""
+    load_builtin_rules()
+    if args.list_rules:
+        for code, rule_cls in all_rules().items():
+            scope = (
+                ", ".join(rule_cls.scope) if rule_cls.scope else "all modules"
+            )
+            print(f"{code} {rule_cls.name}: {rule_cls.description} [{scope}]")
+        return 0
+
+    codes = None
+    if args.select:
+        codes = [code.strip() for code in args.select.split(",") if code.strip()]
+    try:
+        findings = lint_paths(args.paths, codes)
+    except FileNotFoundError as err:
+        print(f"archline lint: no such path: {err.args[0]}", file=sys.stderr)
+        return 2
+    except KeyError as err:
+        known = ", ".join(all_rules())
+        print(
+            f"archline lint: unknown rule code {err.args[0]!r} "
+            f"(known: {known})",
+            file=sys.stderr,
+        )
+        return 2
+
+    baseline_path = _resolve_baseline_path(args.baseline)
+    if args.update_baseline:
+        target = baseline_path or Path(DEFAULT_BASELINE_NAME)
+        count = write_baseline(target, findings)
+        print(f"archline lint: baselined {count} finding(s) -> {target}")
+        return 0
+    if baseline_path is not None:
+        try:
+            fingerprints = load_baseline(baseline_path)
+        except (OSError, ValueError) as err:
+            print(f"archline lint: {err}", file=sys.stderr)
+            return 2
+        findings, matched = filter_baselined(findings, fingerprints)
+        if matched:
+            print(
+                f"archline lint: {matched} finding(s) matched the baseline",
+                file=sys.stderr,
+            )
+
+    print(render(findings, args.format))
+    return 1 if findings else 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Standalone entry point (``python -m repro.lint``)."""
+    parser = build_lint_parser()
+    return run_lint(parser.parse_args(argv))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,66 @@
+"""Finding records: what a lint rule reports.
+
+A :class:`Finding` pins one violation to a file, line and column with a
+stable rule code (``ARCH001``...), a severity, and a human message.  The
+*fingerprint* identifies a finding across unrelated edits -- it hashes
+the rule code, the file path and the stripped source line text (plus a
+duplicate index for identical lines) rather than the line *number*, so
+a baseline entry keeps matching when code above it moves.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from dataclasses import dataclass, field
+
+
+class Severity(enum.Enum):
+    """How bad a finding is; ``ERROR`` findings gate CI."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str  #: file path as given to the linter (repo-relative in CI).
+    line: int  #: 1-based line of the offending node.
+    col: int  #: 0-based column of the offending node.
+    code: str  #: stable rule code, e.g. ``"ARCH004"``.
+    message: str  #: human explanation, names the offending construct.
+    rule: str = ""  #: registry name of the rule, e.g. ``"float-equality"``.
+    severity: Severity = field(default=Severity.ERROR, compare=False)
+    #: The stripped text of the offending source line (fingerprint input).
+    source_line: str = field(default="", compare=False)
+
+    def fingerprint(self, duplicate_index: int = 0) -> str:
+        """Stable identity for baseline matching (line-number free)."""
+        payload = "\x1f".join(
+            (self.code, self.path, self.source_line, str(duplicate_index))
+        )
+        return hashlib.sha1(payload.encode("utf-8")).hexdigest()
+
+    def render_text(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col + 1}: "
+            f"{self.code} [{self.severity}] {self.message}"
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-schema form (see ``docs/LINT.md``)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "severity": str(self.severity),
+            "message": self.message,
+            "rule": self.rule,
+            "fingerprint": self.fingerprint(),
+        }

@@ -1,0 +1,33 @@
+"""The archlint rule pack.
+
+Importing this package registers nothing by itself;
+:func:`load_builtin_rules` imports every built-in rule module exactly
+once, which registers them via the :func:`~repro.lint.rules.base.register`
+decorator.  Third-party or experiment-local rules can call ``register``
+directly.
+"""
+
+from __future__ import annotations
+
+from .base import Rule, all_rules, register, rules_for
+
+__all__ = ["Rule", "all_rules", "register", "rules_for", "load_builtin_rules"]
+
+_LOADED = False
+
+
+def load_builtin_rules() -> None:
+    """Import (and thereby register) the built-in rule modules."""
+    global _LOADED
+    if _LOADED:
+        return
+    from . import (  # noqa: F401  (imported for registration side effect)
+        determinism,
+        exceptions,
+        floateq,
+        picklability,
+        telemetry_hygiene,
+        unit_discipline,
+    )
+
+    _LOADED = True

@@ -1,0 +1,62 @@
+"""ARCH004: no ``==``/``!=`` against float literals in numeric code.
+
+A fit whose objective moved by one ulp is still the same fit; a
+comparison like ``residual == 0.5`` is not.  In the numeric packages
+(``repro.stats``, ``repro.machine``) this rule flags equality
+comparisons where either operand is a float literal -- the cases where
+``math.isclose``/:func:`repro.units.is_close` (or a justified
+suppression for exact-sentinel checks like ``sigma == 0.0``) is almost
+always what was meant.
+
+Integer-literal comparisons (``n == 0``, ``arr.size == 0``) and
+shape/string equality are untouched: they are exact by construction.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..context import ModuleContext
+from ..findings import Finding
+from .base import Rule, register
+
+
+def _is_float_literal(node: ast.expr) -> bool:
+    if isinstance(node, ast.UnaryOp) and isinstance(
+        node.op, (ast.UAdd, ast.USub)
+    ):
+        node = node.operand
+    return isinstance(node, ast.Constant) and isinstance(node.value, float)
+
+
+@register
+class FloatEqualityRule(Rule):
+    code = "ARCH004"
+    name = "float-equality"
+    description = (
+        "flag ==/!= against float literals in stats/machine; use "
+        "isclose or suppress exact-sentinel checks with a justification"
+    )
+    scope = ("repro.stats", "repro.machine")
+    interests = (ast.Compare,)
+
+    def visit(self, node: ast.AST, ctx: ModuleContext) -> Iterable[Finding]:
+        assert isinstance(node, ast.Compare)
+        operands = [node.left, *node.comparators]
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            literal = next(
+                (o for o in (left, right) if _is_float_literal(o)), None
+            )
+            if literal is None:
+                continue
+            symbol = "==" if isinstance(op, ast.Eq) else "!="
+            yield self.finding(
+                ctx,
+                node,
+                f"float equality '{symbol} {ast.unparse(literal)}': use "
+                f"math.isclose/repro.units.is_close, or suppress with a "
+                f"justification if this is an exact-sentinel check",
+            )

@@ -191,6 +191,8 @@ def smooth_max(a, b, smoothing: float):
     b_arr = np.asarray(b, dtype=float)
     scalar = a_arr.ndim == 0 and b_arr.ndim == 0
     m = np.maximum(a_arr, b_arr)
+    # Exact sentinel: smoothing=0.0 means "hard max requested", not a
+    # computed value near zero.  # archlint: disable=ARCH004
     if smoothing == 0.0:
         return float(m) if scalar else m
     lo = np.minimum(a_arr, b_arr)

@@ -225,7 +225,7 @@ class Engine:
         self,
         config: PlatformConfig,
         rng: np.random.Generator | None = None,
-        recorder: TraceRecorder | None = None,
+        recorder: TraceRecorder | None = NULL_RECORDER,
     ) -> None:
         self.config = config
         self.rng = rng
@@ -435,6 +435,8 @@ class Engine:
             trace = insert_stalls(trace, stalls, truth.pi1)
             # Run-to-run throughput variation stretches the timeline.
             factor = lognormal_factor(self.rng, noise.time_sigma)
+            # Exact sentinel: lognormal_factor returns exactly 1.0 when
+            # time noise is off.  # archlint: disable=ARCH004
             if factor != 1.0:
                 trace = PowerTrace(trace.edges * factor, trace.values)
             trace = apply_trace_noise(self.rng, trace, noise.power_sigma)

@@ -72,6 +72,8 @@ class KernelSpec:
         object.__setattr__(self, "traffic", MappingProxyType(traffic))
         if self.working_set < 0:
             raise ValueError("working_set must be non-negative")
+        # Exact sentinel: a sum of non-negative terms is 0.0 only when
+        # every term is exactly zero.  # archlint: disable=ARCH004
         if self.total_work == 0.0:
             raise ValueError("kernel must perform some work")
 
@@ -103,6 +105,9 @@ class KernelSpec:
     @property
     def total_work(self) -> float:
         """Combined work measure used for emptiness checks."""
+        # Deliberately unitless: flops, bytes and accesses are summed
+        # only to ask "is there any work at all?", never as a physical
+        # quantity.  # archlint: disable=ARCH005
         return self.flops + self.total_bytes + self.random_accesses
 
     @property
@@ -110,6 +115,8 @@ class KernelSpec:
         """Operational intensity ``W / Q`` against slow memory
         (inf for cache-resident kernels with no DRAM traffic)."""
         q = self.dram_bytes
+        # Exact sentinel: q is 0.0 only for cache-resident kernels with
+        # literally no DRAM traffic.  # archlint: disable=ARCH004
         return float("inf") if q == 0.0 else self.flops / q
 
     def scaled(self, factor: float) -> "KernelSpec":

@@ -65,6 +65,8 @@ def lognormal_factor(rng: np.random.Generator, sigma: float) -> float:
     consume no random numbers (keeps seeded campaigns comparable across
     noise settings).
     """
+    # Exact sentinel: sigma=0.0 means "noise disabled" and must consume
+    # no random draws.  # archlint: disable=ARCH004
     if sigma == 0.0:
         return 1.0
     return float(np.exp(rng.normal(0.0, sigma)))
@@ -74,6 +76,8 @@ def apply_trace_noise(
     rng: np.random.Generator, trace: PowerTrace, sigma: float
 ) -> PowerTrace:
     """Multiply each segment's power by independent lognormal noise."""
+    # Exact sentinel: sigma=0.0 means "noise disabled" and must consume
+    # no random draws.  # archlint: disable=ARCH004
     if sigma == 0.0:
         return trace
     factors = np.exp(rng.normal(0.0, sigma, size=len(trace.values)))
@@ -93,6 +97,8 @@ def sample_stalls(
     the stall begins.  The Poisson count uses the *active* duration, so
     stalls do not breed further stalls.
     """
+    # Exact sentinel: rate=0.0 means "interference disabled" and must
+    # consume no random draws.  # archlint: disable=ARCH004
     if rate == 0.0 or duration <= 0.0:
         return []
     count = int(rng.poisson(rate * duration))

@@ -208,7 +208,7 @@ class BenchmarkRunner:
         faults: FaultPlan | None = None,
         max_retries: int = 2,
         retry_backoff: float = 0.0,
-        recorder: TraceRecorder | None = None,
+        recorder: TraceRecorder | None = NULL_RECORDER,
     ) -> None:
         if not target_duration > 0:
             raise ValueError("target_duration must be positive")

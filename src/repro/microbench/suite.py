@@ -93,7 +93,7 @@ def run_campaign(
     runner: BenchmarkRunner | None = None,
     faults: FaultPlan | None = None,
     max_retries: int = 2,
-    recorder: TraceRecorder | None = None,
+    recorder: TraceRecorder | None = NULL_RECORDER,
 ) -> Campaign:
     """Run the full Section IV benchmark suite on one platform.
 
@@ -266,7 +266,7 @@ def fit_campaign(
     *,
     anchor_times: bool = True,
     rng: np.random.Generator | None = None,
-    recorder: TraceRecorder | None = None,
+    recorder: TraceRecorder | None = NULL_RECORDER,
 ) -> FittedPlatform:
     """Reproduce the Section V-A fitting procedure on one campaign.
 

@@ -89,6 +89,9 @@ def pearson(x: Sequence[float], y: Sequence[float]) -> float:
     xc = xa - xa.mean()
     yc = ya - ya.mean()
     denom = float(np.sqrt(np.sum(xc * xc) * np.sum(yc * yc)))
+    # Exact sentinel: the sum of squares is 0.0 only for a constant
+    # input, the one case with no defined correlation.
+    # archlint: disable=ARCH004
     if denom == 0.0:
         raise ValueError("zero variance input")
     return float(np.sum(xc * yc) / denom)

@@ -111,6 +111,8 @@ def nonnegative_lstsq(A: np.ndarray, b: np.ndarray) -> np.ndarray:
         raise ValueError("A must be (n, k) and b (n,)")
     # Column scaling: nnls is sensitive to wildly different magnitudes.
     scales = np.linalg.norm(A, axis=0)
+    # Exact sentinel: a column norm is 0.0 only for an all-zero column,
+    # whose scale must stay exactly 1.  # archlint: disable=ARCH004
     scales[scales == 0.0] = 1.0
     x_scaled, _ = nnls(A / scales, b)
     return x_scaled / scales

@@ -1,0 +1,113 @@
+"""Baseline write / load / filter round-trip behaviour."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+import pytest
+
+from repro.lint import lint_source, load_baseline, write_baseline
+from repro.lint.baseline import (
+    BASELINE_VERSION,
+    assign_fingerprints,
+    filter_baselined,
+)
+
+MODULE = "repro.machine.fake"
+
+DIRTY = textwrap.dedent(
+    """
+    import random
+
+    def check(sigma):
+        return random.random() == sigma
+    """
+)
+
+
+def findings_for(source: str):
+    return lint_source(source, module=MODULE, path="src/repro/machine/fake.py")
+
+
+def test_round_trip_filters_every_known_finding(tmp_path):
+    findings = findings_for(DIRTY)
+    assert findings, "fixture must produce findings"
+    path = tmp_path / "baseline.json"
+    write_baseline(path, findings)
+    fingerprints = load_baseline(path)
+    fresh, matched = filter_baselined(findings, fingerprints)
+    assert fresh == []
+    assert matched == len(findings)
+
+
+def test_new_findings_survive_the_baseline(tmp_path):
+    path = tmp_path / "baseline.json"
+    write_baseline(path, findings_for(DIRTY))
+    fingerprints = load_baseline(path)
+    extended = DIRTY + "\n\nbad_compare = 3.25 == threshold\n"
+    fresh, matched = filter_baselined(findings_for(extended), fingerprints)
+    assert len(fresh) == 1
+    assert "3.25" in fresh[0].source_line
+    assert matched > 0
+
+
+def test_fingerprints_are_line_number_independent():
+    shifted = "\n\n\n" + DIRTY
+    base = assign_fingerprints(findings_for(DIRTY))
+    moved = assign_fingerprints(findings_for(shifted))
+    assert [fp for _, fp in base] == [fp for _, fp in moved]
+
+
+def test_duplicate_findings_get_distinct_fingerprints():
+    # Two identical violations on identical source lines must not
+    # collapse into one baseline entry.
+    source = textwrap.dedent(
+        """
+        def f(x):
+            return x == 0.5
+
+        def g(x):
+            return x == 0.5
+        """
+    )
+    fingerprints = [fp for _, fp in assign_fingerprints(findings_for(source))]
+    assert len(fingerprints) == 2
+    assert len(set(fingerprints)) == 2
+
+
+def test_baseline_file_shape(tmp_path):
+    path = tmp_path / "baseline.json"
+    write_baseline(path, findings_for(DIRTY))
+    payload = json.loads(path.read_text())
+    assert payload["version"] == BASELINE_VERSION
+    for entry in payload["findings"]:
+        assert set(entry) == {"fingerprint", "code", "path", "message"}
+
+
+def test_empty_baseline_loads_empty(tmp_path):
+    path = tmp_path / "baseline.json"
+    write_baseline(path, [])
+    assert load_baseline(path) == set()
+
+
+def test_malformed_baseline_raises(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text("not json at all {{{")
+    with pytest.raises(ValueError):
+        load_baseline(path)
+
+
+def test_version_mismatch_raises(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps({"version": 999, "findings": []}))
+    with pytest.raises(ValueError):
+        load_baseline(path)
+
+
+def test_committed_repo_baseline_is_empty():
+    import pathlib
+
+    repo_root = pathlib.Path(__file__).resolve().parents[2]
+    payload = json.loads((repo_root / "archlint.baseline.json").read_text())
+    assert payload == {"findings": [], "version": BASELINE_VERSION}

@@ -1,0 +1,20 @@
+"""The shipped source tree must lint clean with an empty baseline.
+
+This is the acceptance criterion of the lint PR frozen as a test: every
+real violation was either fixed or carries an inline justified
+suppression, so ``archline lint src/`` reports nothing.  If a future
+change introduces a violation, this test fails alongside CI.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.lint import lint_paths
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+
+def test_src_tree_is_archlint_clean():
+    findings = lint_paths([REPO_ROOT / "src"])
+    assert findings == [], "\n".join(f.render_text() for f in findings)

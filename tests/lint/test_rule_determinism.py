@@ -1,0 +1,118 @@
+"""ARCH001: positive and negative fixtures for the determinism rule."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.lint import lint_source
+
+MODULE = "repro.machine.fake"
+
+
+def lint(source: str, module: str = MODULE):
+    return lint_source(textwrap.dedent(source), module=module, codes=["ARCH001"])
+
+
+def codes(source: str, module: str = MODULE):
+    return [f.code for f in lint(source, module=module)]
+
+
+def test_flags_stdlib_random_module_call():
+    findings = lint(
+        """
+        import random
+
+        def jitter():
+            return random.random()
+        """
+    )
+    assert [f.code for f in findings] == ["ARCH001"]
+    assert "random.random" in findings[0].message
+
+
+def test_flags_from_random_import():
+    assert codes("from random import randint\n") == ["ARCH001"]
+
+
+def test_flags_numpy_global_rng_function():
+    findings = lint(
+        """
+        import numpy as np
+
+        def noise(n):
+            return np.random.rand(n)
+        """
+    )
+    assert [f.code for f in findings] == ["ARCH001"]
+    assert "numpy.random.rand" in findings[0].message
+
+
+def test_allows_explicit_generator_construction():
+    assert (
+        codes(
+            """
+            import numpy as np
+
+            def make_rng(seed):
+                return np.random.default_rng(np.random.SeedSequence(seed))
+
+            def typed(rng: np.random.Generator) -> np.random.Generator:
+                return rng
+            """
+        )
+        == []
+    )
+
+
+def test_flags_wall_clock_reads():
+    findings = lint(
+        """
+        import time
+        import datetime
+
+        def stamp():
+            return time.time(), datetime.datetime.now()
+        """
+    )
+    assert [f.code for f in findings] == ["ARCH001", "ARCH001"]
+
+
+def test_allows_monotonic_perf_counter():
+    assert (
+        codes(
+            """
+            import time
+
+            def tick():
+                return time.perf_counter()
+            """
+        )
+        == []
+    )
+
+
+def test_flags_from_datetime_import():
+    assert codes("from datetime import datetime\n") == ["ARCH001"]
+
+
+def test_local_name_shadowing_is_not_flagged():
+    # `random` here is a parameter, not the stdlib module: the rule only
+    # follows attribute chains rooted in an *imported* binding.  This is
+    # the exact false positive once hit on machine/platforms.py.
+    assert (
+        codes(
+            """
+            def build(random=None):
+                return random.tau_access if random else 0.0
+            """
+        )
+        == []
+    )
+
+
+def test_out_of_scope_modules_are_ignored():
+    source = "import random\nx = random.random()\n"
+    assert codes(source, module="repro.stats.fake") == []
+    assert codes(source, module="repro.machine.fake") == ["ARCH001"]
+    assert codes(source, module="repro.faults.fake") == ["ARCH001"]
+    assert codes(source, module="repro.microbench.fake") == ["ARCH001"]

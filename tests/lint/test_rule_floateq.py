@@ -1,0 +1,57 @@
+"""ARCH004: positive and negative fixtures for float-literal equality."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.lint import lint_source
+
+MODULE = "repro.machine.fake"
+
+
+def lint(source: str, module: str = MODULE):
+    return lint_source(textwrap.dedent(source), module=module, codes=["ARCH004"])
+
+
+def test_flags_equality_against_float_literal():
+    findings = lint(
+        """
+        def check(sigma):
+            return sigma == 0.0
+        """
+    )
+    assert [f.code for f in findings] == ["ARCH004"]
+    assert "isclose" in findings[0].message
+
+
+def test_flags_inequality_and_reversed_operands():
+    findings = lint(
+        """
+        def check(a, b):
+            return a != 1.5 or 2.5 == b
+        """
+    )
+    assert [f.code for f in findings] == ["ARCH004", "ARCH004"]
+
+
+def test_flags_negative_float_literal():
+    assert len(lint("ok = x == -1.0\n")) == 1
+
+
+def test_integer_literals_are_fine():
+    assert lint("def check(n):\n    return n == 0\n") == []
+
+
+def test_ordered_comparisons_are_fine():
+    assert lint("def check(x):\n    return x > 0.0 and x <= 1.0\n") == []
+
+
+def test_variable_to_variable_comparison_is_fine():
+    assert lint("def check(a, b):\n    return a == b\n") == []
+
+
+def test_rule_scoped_to_stats_and_machine():
+    source = "flag = x == 0.5\n"
+    assert lint(source, module="repro.telemetry.fake") == []
+    assert len(lint(source, module="repro.stats.fake")) == 1
+    assert len(lint(source, module="repro.machine.fake")) == 1

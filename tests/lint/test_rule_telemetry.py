@@ -1,0 +1,118 @@
+"""ARCH006: positive and negative fixtures for telemetry hygiene."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.lint import lint_source
+
+
+def lint(source: str, module: str = "repro.machine.fake"):
+    return lint_source(textwrap.dedent(source), module=module, codes=["ARCH006"])
+
+
+def test_flags_recorder_param_without_default():
+    findings = lint(
+        """
+        def run(kernel, recorder):
+            return kernel
+        """
+    )
+    assert [f.code for f in findings] == ["ARCH006"]
+    assert "no default" in findings[0].message
+
+
+def test_flags_recorder_defaulting_to_none():
+    findings = lint(
+        """
+        def run(kernel, recorder=None):
+            return kernel
+        """
+    )
+    assert [f.code for f in findings] == ["ARCH006"]
+    assert "NULL_RECORDER" in findings[0].message
+
+
+def test_accepts_null_recorder_default():
+    assert (
+        lint(
+            """
+            from repro.telemetry import NULL_RECORDER
+
+            def run(kernel, recorder=NULL_RECORDER):
+                return kernel
+
+            def kw_only(kernel, *, recorder=NULL_RECORDER):
+                return kernel
+
+            def qualified(kernel, recorder=telemetry.NULL_RECORDER):
+                return kernel
+            """
+        )
+        == []
+    )
+
+
+def test_kwonly_recorder_without_default_is_flagged():
+    findings = lint(
+        """
+        def run(kernel, *, recorder):
+            return kernel
+        """
+    )
+    assert [f.code for f in findings] == ["ARCH006"]
+
+
+def test_other_params_are_not_recorder():
+    assert lint("def run(kernel, recorder_factory=None):\n    return kernel\n") == []
+
+
+def test_flags_rng_import_inside_telemetry():
+    findings = lint(
+        "import random\n", module="repro.telemetry.recorder"
+    )
+    assert [f.code for f in findings] == ["ARCH006"]
+    assert "bit-identical" in findings[0].message
+
+
+def test_flags_numpy_random_attribute_inside_telemetry():
+    findings = lint(
+        """
+        import numpy as np
+
+        def spoil():
+            return np.random.default_rng()
+        """,
+        module="repro.telemetry.trace",
+    )
+    assert [f.code for f in findings] == ["ARCH006"]
+
+
+def test_rng_use_outside_telemetry_is_arch006_clean():
+    # Outside repro.telemetry the RNG half of the rule does not apply
+    # (ARCH001 owns model-path RNG discipline).
+    assert (
+        lint(
+            """
+            import numpy as np
+
+            def rng():
+                return np.random.default_rng(0)
+            """,
+            module="repro.experiments.fake",
+        )
+        == []
+    )
+
+
+def test_local_variable_named_random_is_fine_in_telemetry():
+    assert (
+        lint(
+            """
+            def shuffle(random=None):
+                return random.thing if random else None
+            """,
+            module="repro.telemetry.recorder",
+        )
+        == []
+    )

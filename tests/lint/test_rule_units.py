@@ -1,0 +1,99 @@
+"""ARCH005: positive and negative fixtures for unit-suffix discipline."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.lint import lint_source
+
+
+def lint(source: str, module: str = "repro.anywhere.fake"):
+    return lint_source(textwrap.dedent(source), module=module, codes=["ARCH005"])
+
+
+def test_flags_adding_joules_to_seconds():
+    findings = lint(
+        """
+        def total(run_joules, run_seconds):
+            return run_joules + run_seconds
+        """
+    )
+    assert [f.code for f in findings] == ["ARCH005"]
+    assert "joules" in findings[0].message and "seconds" in findings[0].message
+
+
+def test_flags_subtraction_and_comparison():
+    findings = lint(
+        """
+        def diff(total_flops, total_bytes, cap_watts, used_joules):
+            if cap_watts < used_joules:
+                return total_flops - total_bytes
+            return 0.0
+        """
+    )
+    assert len(findings) == 2
+
+
+def test_flags_augmented_assignment():
+    findings = lint(
+        """
+        def accumulate(total_joules, extra_seconds):
+            total_joules += extra_seconds
+            return total_joules
+        """
+    )
+    assert [f.code for f in findings] == ["ARCH005"]
+
+
+def test_same_unit_arithmetic_is_fine():
+    assert (
+        lint(
+            """
+            def total(a_joules, b_joules):
+                return a_joules + b_joules
+            """
+        )
+        == []
+    )
+
+
+def test_multiplication_and_division_change_units_legally():
+    # W = J/s and E = P*t are the whole point of the model; only +,-
+    # and comparisons require matching units.
+    assert (
+        lint(
+            """
+            def power(run_joules, run_seconds, cap_watts):
+                return run_joules / run_seconds + cap_watts
+            """
+        )
+        == []
+    )
+
+
+def test_attribute_suffixes_are_checked_too():
+    findings = lint(
+        """
+        def check(obs):
+            return obs.energy_joules + obs.elapsed_seconds
+        """
+    )
+    assert [f.code for f in findings] == ["ARCH005"]
+
+
+def test_conversion_through_a_call_silences_the_rule():
+    # A call result carries no suffix, so routing through repro.units
+    # converters is the sanctioned way to mix quantities.
+    assert (
+        lint(
+            """
+            def total(run_joules, run_seconds, pi1_watts):
+                return run_joules + energy_from(pi1_watts, run_seconds)
+            """
+        )
+        == []
+    )
+
+
+def test_unsuffixed_names_are_fine():
+    assert lint("def f(a, b):\n    return a + b\n") == []

@@ -1,0 +1,123 @@
+"""Inline ``# archlint: disable=...`` suppression semantics."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.lint import ModuleContext, lint_source
+
+MODULE = "repro.machine.fake"
+
+
+def lint(source: str, codes=None):
+    return lint_source(textwrap.dedent(source), module=MODULE, codes=codes)
+
+
+def test_same_line_suppression():
+    assert (
+        lint(
+            """
+            def check(sigma):
+                return sigma == 0.0  # archlint: disable=ARCH004
+            """,
+            codes=["ARCH004"],
+        )
+        == []
+    )
+
+
+def test_comment_only_line_suppresses_the_next_line():
+    # The justification-above-code pattern used throughout src/.
+    assert (
+        lint(
+            """
+            def check(sigma):
+                # Exact sentinel: disabled noise must consume no draws.
+                # archlint: disable=ARCH004
+                return sigma == 0.0
+            """,
+            codes=["ARCH004"],
+        )
+        == []
+    )
+
+
+def test_suppression_is_code_specific():
+    findings = lint(
+        """
+        import random
+
+        def check(sigma):
+            x = random.random()  # archlint: disable=ARCH004
+            return x == 0.0  # archlint: disable=ARCH001
+        """,
+        codes=["ARCH001", "ARCH004"],
+    )
+    # Each line suppressed the *wrong* code, so both findings survive.
+    assert sorted(f.code for f in findings) == ["ARCH001", "ARCH004"]
+
+
+def test_comma_separated_codes():
+    assert (
+        lint(
+            """
+            import random
+
+            def check():
+                return random.random() == 0.5  # archlint: disable=ARCH001,ARCH004
+            """,
+            codes=["ARCH001", "ARCH004"],
+        )
+        == []
+    )
+
+
+def test_disable_all_wildcard():
+    assert (
+        lint(
+            """
+            import random
+
+            def check():
+                return random.random() == 0.5  # archlint: disable=all
+            """
+        )
+        == []
+    )
+
+
+def test_file_level_suppression():
+    assert (
+        lint(
+            """
+            # archlint: disable-file=ARCH004
+
+            def check(a, b, c):
+                return a == 0.0 or b == 1.0 or c == 2.0
+            """,
+            codes=["ARCH004"],
+        )
+        == []
+    )
+
+
+def test_unsuppressed_finding_still_reported():
+    findings = lint(
+        """
+        def check(a, b):
+            x = a == 0.0  # archlint: disable=ARCH004
+            return x or b == 1.0
+        """,
+        codes=["ARCH004"],
+    )
+    assert len(findings) == 1
+    assert findings[0].line == 4
+
+
+def test_is_suppressed_api():
+    ctx = ModuleContext.from_source(
+        "x = 1  # archlint: disable=ARCH001\n", path="f.py", module="m"
+    )
+    assert ctx.is_suppressed("ARCH001", 1)
+    assert not ctx.is_suppressed("ARCH002", 1)
+    assert not ctx.is_suppressed("ARCH001", 2)

@@ -1,0 +1,42 @@
+"""Regression tests for the NULL_RECORDER span-site defaults.
+
+The lint PR changed every ``recorder`` parameter default from ``None``
+to ``NULL_RECORDER`` (ARCH006).  These tests pin the behavioural
+contract: omitting the recorder and passing ``recorder=None``
+explicitly both resolve to the shared no-op recorder, and the default
+engine output stays bit-identical to an explicitly untraced run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.machine.engine import Engine
+from repro.machine.platforms import platform
+from repro.microbench.kernels import intensity_kernel
+from repro.microbench.runner import BenchmarkRunner
+from repro.telemetry import NULL_RECORDER
+
+
+def test_engine_defaults_to_null_recorder():
+    config = platform("gtx-titan")
+    assert Engine(config).recorder is NULL_RECORDER
+    assert Engine(config, recorder=None).recorder is NULL_RECORDER
+
+
+def test_runner_defaults_to_null_recorder():
+    config = platform("gtx-titan")
+    assert BenchmarkRunner(config).recorder is NULL_RECORDER
+    assert BenchmarkRunner(config, recorder=None).recorder is NULL_RECORDER
+
+
+def test_default_and_explicit_none_runs_are_bit_identical():
+    config = platform("gtx-titan")
+    kernel = intensity_kernel(config, 2.0)
+    result_a = Engine(config, rng=np.random.default_rng(7)).run(kernel)
+    result_b = Engine(
+        config, rng=np.random.default_rng(7), recorder=None
+    ).run(kernel)
+    assert result_a.wall_time == result_b.wall_time
+    np.testing.assert_array_equal(result_a.trace.edges, result_b.trace.edges)
+    np.testing.assert_array_equal(result_a.trace.values, result_b.trace.values)
