@@ -1,0 +1,1 @@
+# Thin entry-point package over repro.trajectory; see run.py.

@@ -23,9 +23,11 @@ discretisation, a property the integration tests assert.
 
 ``Engine.run_batch`` executes a whole sweep at once.  Steps 1-3 (and
 the cap check) are pure elementwise arithmetic, so they are evaluated
-as NumPy array operations over the full batch; only runs whose dynamic
-power actually exceeds the cap fall back to the scalar governor loop,
-and enabling noise falls back to per-kernel :meth:`Engine.run` so the
+as NumPy array operations over the full batch; runs whose dynamic
+power exceeds the cap have their governor control loops advanced in
+lockstep by :func:`~repro.machine.governor.run_governor_batch` (masked
+array updates, bit-identical to the per-kernel scalar loop), and
+enabling noise falls back to per-kernel :meth:`Engine.run` so the
 generator consumes draws in exactly the sequential order.  The scalar
 path routes through the *same* vectorised helpers (on length-1
 batches), so with noise disabled ``run_batch`` agrees with ``run``
@@ -44,7 +46,7 @@ import numpy as np
 from ..core.model import flop_costs
 from ..telemetry.recorder import NULL_RECORDER, TraceRecorder
 from .config import PlatformConfig, smooth_max
-from .governor import run_governor
+from .governor import GovernorBatchResult, run_governor, run_governor_batch
 from .kernel import DRAM, KernelSpec
 from .noise import apply_trace_noise, insert_stalls, lognormal_factor, sample_stalls
 from .power import PowerTrace
@@ -151,6 +153,49 @@ class BatchResult:
             segment_powers=np.zeros(len(results)),
             traces={i: r.trace for i, r in enumerate(results)},
         )
+
+
+class _LazyThrottledTraces(Mapping):
+    """Throttled runs' power traces, built (and cached) on first access.
+
+    A capped sweep rarely looks at individual traces -- downstream
+    consumers read the aligned ``wall_times``/``energies`` arrays --
+    so the batch path defers ``PowerTrace`` construction until someone
+    asks.  The trace built here is exactly what the eager path would
+    have stored: ``PowerTrace.from_durations`` over the governor's
+    schedule with ``pi1 + f * demand`` segment powers.
+    """
+
+    def __init__(
+        self,
+        indices: np.ndarray,
+        schedules: GovernorBatchResult,
+        pi1: float,
+        demands: np.ndarray,
+    ) -> None:
+        self._lane = {int(i): j for j, i in enumerate(indices)}
+        self._schedules = schedules
+        self._pi1 = pi1
+        self._demands = demands  # aligned with the schedules' lanes
+        self._cache: dict[int, PowerTrace] = {}
+
+    def __getitem__(self, i: int) -> PowerTrace:
+        j = self._lane[i]
+        trace = self._cache.get(i)
+        if trace is None:
+            trace = PowerTrace.from_durations(
+                self._schedules.durations[j],
+                self._pi1
+                + self._schedules.frequencies[j] * float(self._demands[j]),
+            )
+            self._cache[i] = trace
+        return trace
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._lane)
+
+    def __len__(self) -> int:
+        return len(self._lane)
 
 
 @dataclass(frozen=True)
@@ -454,9 +499,10 @@ class Engine:
 
         With noise disabled (``rng=None``) the deterministic physics of
         every kernel are evaluated as NumPy array operations over the
-        batch; only runs whose dynamic power exceeds the cap drop into
-        the scalar governor loop (their sawtooth schedule is inherently
-        sequential).  With noise enabled every kernel goes through
+        batch, and the capped kernels' sawtooth control loops advance
+        in lockstep through the vectorised batch governor under a
+        ``governor_batch`` telemetry span.  With noise enabled every
+        kernel goes through
         :meth:`run` so the generator consumes draws in exactly the
         order a sequential campaign would -- either way the results are
         identical to calling :meth:`run` per kernel, which is what
@@ -488,23 +534,36 @@ class Engine:
         segment_powers = truth.pi1 + physics.demand
         energies = wall_times * segment_powers
         throttled = np.zeros(len(kernels), dtype=bool)
-        traces: dict[int, PowerTrace] = {}
+        traces: Mapping = {}
 
         if truth.is_capped:
             cap = truth.delta_pi * (1.0 - effects.cap_guard_band)
-            for i in np.flatnonzero(physics.demand > cap):
-                demand = float(physics.demand[i])
-                schedule = run_governor(
-                    float(physics.base_time[i]), demand, cap, effects.governor
+            idx = np.flatnonzero(physics.demand > cap)
+            if idx.size:
+                # All capped kernels' sawtooth control loops advance in
+                # lockstep as whole-array updates -- bit-identical to
+                # the per-kernel scalar governor the noise path uses.
+                with self.recorder.span("governor_batch", n=int(idx.size)):
+                    schedules = run_governor_batch(
+                        physics.base_time[idx],
+                        physics.demand[idx],
+                        cap,
+                        effects.governor,
+                    )
+                demands = physics.demand[idx]
+                wall_times[idx] = schedules.trace_wall_times
+                throttled[idx] = schedules.throttled
+                # Same integral the eager trace would report:
+                # dot(trace segment durations, pi1 + f * demand).
+                for j, i in enumerate(idx):
+                    energies[i] = np.dot(
+                        schedules.trace_segment_durations[j],
+                        truth.pi1
+                        + schedules.frequencies[j] * float(demands[j]),
+                    )
+                traces = _LazyThrottledTraces(
+                    idx, schedules, truth.pi1, demands
                 )
-                trace = PowerTrace.from_durations(
-                    schedule.durations,
-                    truth.pi1 + schedule.frequencies * demand,
-                )
-                traces[int(i)] = trace
-                wall_times[i] = trace.duration
-                energies[i] = trace.energy()
-                throttled[i] = schedule.throttled
 
         return BatchResult(
             kernels=kernels,

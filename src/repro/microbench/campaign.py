@@ -59,7 +59,12 @@ import numpy as np
 from ..faults.plan import FaultPlan
 from ..machine.platforms import PLATFORM_IDS, platform
 from ..telemetry.jsonl import trace_bytes as _trace_bytes
-from ..telemetry.recorder import NULL_RECORDER, SpanRecord, TraceRecorder
+from ..telemetry.recorder import (
+    NULL_RECORDER,
+    SpanRecord,
+    SpanTable,
+    TraceRecorder,
+)
 from .intensity import balanced_intensities
 from .runner import BenchmarkRunner, QuarantinedCell
 from .suite import FittedPlatform, fit_campaign, run_campaign
@@ -135,8 +140,11 @@ class ShardReport:
     backoff_seconds: float = 0.0  #: seconds slept in retry backoff.
     trace_bytes: int = 0  #: JSONL-encoded size of ``spans``, bytes.
     #: Telemetry spans this shard recorded (empty unless the spec set
-    #: ``trace``); picklable, so they cross the pool boundary intact.
-    spans: tuple[SpanRecord, ...] = ()
+    #: ``trace``).  Shipped across the pool boundary as a columnar
+    #: :class:`~repro.telemetry.recorder.SpanTable` (a fraction of the
+    #: pickle bytes of per-span records); iterating yields
+    #: :class:`~repro.telemetry.recorder.SpanRecord` rows either way.
+    spans: SpanTable | tuple[SpanRecord, ...] = ()
 
     @property
     def ok(self) -> bool:
@@ -302,6 +310,7 @@ def run_shard(spec: ShardSpec) -> tuple[FittedPlatform, ShardReport]:
             recorder=recorder,
         )
     spans = recorder.records()
+    shipped = SpanTable.from_records(spans) if spans else ()
     fault_counters = runner.fault_counters
     report = ShardReport(
         platform_id=spec.platform_id,
@@ -320,7 +329,7 @@ def run_shard(spec: ShardSpec) -> tuple[FittedPlatform, ShardReport]:
         quarantined=tuple(runner.quarantined),
         backoff_seconds=runner.backoff_seconds,
         trace_bytes=_trace_bytes(spec.platform_id, spans),
-        spans=spans,
+        spans=shipped,
     )
     return fitted, report
 
@@ -513,11 +522,13 @@ class CampaignRunner:
         workers: int,
     ) -> None:
         pool = ProcessPoolExecutor(max_workers=workers)
-        # Failed and timed-out shards cannot report their own wall
-        # time, so they are accounted from submission: the time a
-        # shard burned (queueing included) before the campaign gave up
-        # on it.  Reporting 0.0 would silently drop that cost from
-        # ``CampaignReport.shard_seconds``.
+        # Shards abandoned mid-run cannot report their own wall time,
+        # so they are accounted from submission: the time a shard
+        # burned before the campaign gave up on it.  Shards whose
+        # future cancels cleanly at the deadline never ran at all and
+        # are charged 0.0 -- charging them the queue time would
+        # inflate ``CampaignReport.shard_seconds`` (and with it
+        # ``parallel_efficiency``) with work nobody performed.
         submitted = time.perf_counter()
         futures = {pool.submit(self.shard_fn, spec): spec for spec in specs}
         done: set[str] = set()
@@ -551,16 +562,30 @@ class CampaignRunner:
             for future, spec in futures.items():
                 if spec.platform_id in done:
                     continue
-                future.cancel()
+                # A successful cancel() means the shard was still
+                # queued: it never ran, so it burned no shard time and
+                # is charged 0.0.  Only shards already running on a
+                # worker (cancel() fails) are charged the elapsed time
+                # they actually consumed before being abandoned.
+                cancelled = future.cancel()
+                if cancelled:
+                    error = (
+                        f"not started before the {self.shard_timeout:.1f}s "
+                        f"deadline"
+                    )
+                else:
+                    error = (
+                        f"unfinished at the {self.shard_timeout:.1f}s "
+                        f"deadline"
+                    )
                 emit(
                     spec.platform_id,
                     None,
                     _failed_report(
                         spec,
                         "timeout",
-                        f"unfinished at the {self.shard_timeout:.1f}s "
-                        f"deadline",
-                        elapsed,
+                        error,
+                        0.0 if cancelled else elapsed,
                     ),
                 )
         finally:

@@ -1,0 +1,156 @@
+"""Compare a fresh trajectory report against the committed baseline.
+
+The comparator gates on per-campaign ``wall_seconds``: a campaign
+regresses when its current wall time exceeds the baseline by more than
+``threshold`` (relative, default 10%) *and* by more than ``min_delta``
+seconds (absolute, default 50 ms).  The absolute slack keeps
+sub-100 ms campaigns from failing CI on scheduler jitter that a
+relative threshold alone would amplify; the relative threshold keeps
+the slack from hiding real regressions in long campaigns.
+
+Non-timing metrics (counters, efficiencies, speedups) are reported as
+informational drift, never as failures -- they change legitimately
+when the suite or the simulator changes, and the baseline refresh
+(``--update``) is the reviewed way to accept that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["Regression", "ComparisonResult", "compare_reports"]
+
+#: Default relative wall-time regression threshold (10%).
+DEFAULT_THRESHOLD = 0.10
+#: Default absolute slack in seconds a campaign may slow down before
+#: the relative threshold applies.
+DEFAULT_MIN_DELTA = 0.05
+
+
+@dataclass(frozen=True)
+class Regression:
+    """One campaign whose wall time regressed past the gate."""
+
+    campaign: str
+    baseline_seconds: float
+    current_seconds: float
+
+    @property
+    def ratio(self) -> float:
+        if self.baseline_seconds <= 0.0:
+            return float("inf")
+        return self.current_seconds / self.baseline_seconds
+
+    def describe(self) -> str:
+        return (
+            f"{self.campaign}: {self.baseline_seconds:.3f}s -> "
+            f"{self.current_seconds:.3f}s ({self.ratio:.2f}x)"
+        )
+
+
+@dataclass(frozen=True)
+class ComparisonResult:
+    """Outcome of one baseline comparison."""
+
+    regressions: tuple[Regression, ...]
+    notes: tuple[str, ...]  #: informational drift, never failing.
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def describe(self) -> str:
+        lines = []
+        if self.regressions:
+            lines.append("wall-time regressions:")
+            lines.extend(f"  {r.describe()}" for r in self.regressions)
+        else:
+            lines.append("no wall-time regressions")
+        if self.notes:
+            lines.append("drift (informational):")
+            lines.extend(f"  {note}" for note in self.notes)
+        return "\n".join(lines)
+
+
+def compare_reports(
+    current: dict[str, Any],
+    baseline: dict[str, Any],
+    *,
+    threshold: float = DEFAULT_THRESHOLD,
+    min_delta: float = DEFAULT_MIN_DELTA,
+) -> ComparisonResult:
+    """Gate ``current`` against ``baseline``.
+
+    Both arguments are validated report dicts
+    (:func:`repro.trajectory.runner.load_report` /
+    :func:`repro.trajectory.runner.run_suite`).  A campaign present in
+    the baseline but missing from the current report counts as a
+    regression (its wall time went from finite to unmeasured); new
+    campaigns only note drift.
+    """
+    if not 0.0 <= threshold:
+        raise ValueError("threshold must be non-negative")
+    if not 0.0 <= min_delta:
+        raise ValueError("min_delta must be non-negative")
+    regressions: list[Regression] = []
+    notes: list[str] = []
+
+    if current["environment"] != baseline["environment"]:
+        changed = sorted(
+            key
+            for key in set(current["environment"])
+            | set(baseline["environment"])
+            if current["environment"].get(key)
+            != baseline["environment"].get(key)
+        )
+        notes.append(
+            "environment differs from baseline "
+            f"({', '.join(changed)}); wall times may not be comparable"
+        )
+
+    base_campaigns = baseline["campaigns"]
+    cur_campaigns = current["campaigns"]
+    for name, base in base_campaigns.items():
+        cur = cur_campaigns.get(name)
+        if cur is None:
+            regressions.append(
+                Regression(
+                    campaign=name,
+                    baseline_seconds=float(base["wall_seconds"]),
+                    current_seconds=float("inf"),
+                )
+            )
+            continue
+        base_wall = float(base["wall_seconds"])
+        cur_wall = float(cur["wall_seconds"])
+        over_relative = cur_wall > base_wall * (1.0 + threshold)
+        over_absolute = cur_wall - base_wall > min_delta
+        if over_relative and over_absolute:
+            regressions.append(
+                Regression(
+                    campaign=name,
+                    baseline_seconds=base_wall,
+                    current_seconds=cur_wall,
+                )
+            )
+        # Counter drift: integer metrics (run/retry/quarantine counts,
+        # worker widths) are deterministic for a fixed seed, so any
+        # change is a behaviour change worth flagging.  Timing-derived
+        # floats (runs/sec, efficiency, speedups) drift every run and
+        # would only be noise here.
+        for key in sorted(set(base) & set(cur) - {"wall_seconds"}):
+            base_val = base[key]
+            cur_val = cur[key]
+            if (
+                isinstance(base_val, int)
+                and isinstance(cur_val, int)
+                and base_val != cur_val
+            ):
+                notes.append(f"{name}.{key}: {base_val} -> {cur_val}")
+    for name in sorted(set(cur_campaigns) - set(base_campaigns)):
+        notes.append(f"new campaign {name!r} (not in baseline)")
+
+    return ComparisonResult(
+        regressions=tuple(regressions), notes=tuple(notes)
+    )

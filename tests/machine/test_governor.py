@@ -98,6 +98,42 @@ class TestThrottled:
         assert progress == pytest.approx(1.0, rel=1e-9)
 
 
+class TestDegenerateTail:
+    def test_sub_resolution_tail_dropped(self):
+        """Regression: a residual below the trace timeline's FP
+        resolution used to emit a zero-width trailing segment whose
+        edge collapsed onto the previous one, making PowerTrace reject
+        the schedule ("edges must be strictly increasing")."""
+        settings = GovernorSettings(period=1e-3, f_min=1.0)
+        result = run_governor(
+            1.0000000000000009, demand_power=2.0, cap=1.0, settings=settings
+        )
+        # The schedule must build a valid trace...
+        from repro.machine.power import PowerTrace
+
+        trace = PowerTrace.from_durations(
+            result.durations, result.frequencies
+        )
+        # ...with every segment a full control period: the degenerate
+        # tail (work residual 9e-16 / f=1, far below the ~1.0 s
+        # timeline's ulp) is dropped, not emitted.
+        assert np.all(result.durations == settings.period)
+        assert trace.duration == pytest.approx(1.0, rel=1e-9)
+
+    def test_normal_tail_still_emitted(self):
+        settings = GovernorSettings(period=1e-3)
+        result = run_governor(
+            0.0015, demand_power=10.0, cap=20.0, settings=settings
+        )
+        assert not result.throttled  # sanity: below cap, one segment
+        result = run_governor(
+            0.0015, demand_power=30.0, cap=20.0, settings=settings
+        )
+        # 1.5 periods of work: one full segment plus a real tail.
+        assert len(result.durations) == 2
+        assert result.durations[-1] > 0
+
+
 class TestValidation:
     def test_rejects_nonpositive_work(self):
         with pytest.raises(ValueError):

@@ -231,6 +231,38 @@ class TestPoolAccounting:
             assert 0.4 <= shard.wall_seconds < 20.0
         assert report.shard_seconds > 0.0
 
+    def test_cancelled_queued_shards_charged_zero(self):
+        """Regression: a shard still *queued* at the deadline (pool
+        narrower than the shard count, every worker hung) used to be
+        charged the elapsed wall time even though it never ran,
+        inflating shard_seconds with work nobody performed."""
+        # Six shards on a two-wide pool: the executor runs two and
+        # prefetches a few more into its call queue (those count as
+        # started and cannot cancel); the deepest-queued shards never
+        # leave the work queue and must cancel cleanly.
+        runner = CampaignRunner(
+            ("gtx-titan", "nuc-gpu", "xeon-phi", "arndale-gpu",
+             "apu-gpu", "gtx-580"),
+            max_workers=2,
+            shard_fn=_hanging_shard, shard_timeout=0.4, **QUICK,
+        )
+        fits = runner.run()
+        report = runner.report
+        assert fits == {}
+        assert all(s.status == "timeout" for s in report.shards)
+        never_ran = [s for s in report.shards if "not started" in s.error]
+        abandoned = [s for s in report.shards if "unfinished" in s.error]
+        assert len(never_ran) >= 1
+        assert len(never_ran) + len(abandoned) == 6
+        for shard in never_ran:
+            assert shard.wall_seconds == 0.0
+        # Shards the pool actually picked up burned real time.
+        assert any(s.wall_seconds >= 0.4 for s in abandoned)
+        # shard_seconds counts only time shards actually burned.
+        assert report.shard_seconds == pytest.approx(
+            sum(s.wall_seconds for s in abandoned)
+        )
+
 
 class TestProgressIsolation:
     """A user progress callback that raises must not kill the

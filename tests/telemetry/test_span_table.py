@@ -1,0 +1,83 @@
+"""SpanTable: columnar span storage for the pool pickle boundary."""
+
+import pickle
+
+import pytest
+
+from repro.telemetry.recorder import SpanRecord, SpanTable, TraceRecorder
+
+
+def make_records(n=5):
+    return tuple(
+        SpanRecord(
+            name=f"span-{i % 3}",
+            start=float(i),
+            duration=0.5 + i,
+            index=i,
+            parent=i - 1,
+            depth=i % 2,
+            meta=(("kernel", f"k{i}"),),
+        )
+        for i in range(n)
+    )
+
+
+class TestRoundTrip:
+    def test_rows_equal_source_records(self):
+        records = make_records()
+        table = SpanTable.from_records(records)
+        assert len(table) == len(records)
+        assert table.records() == records
+        for i, record in enumerate(records):
+            assert table.row(i) == record
+            assert table[i] == record
+
+    def test_iteration_yields_span_records(self):
+        table = SpanTable.from_records(make_records())
+        for row in table:
+            assert isinstance(row, SpanRecord)
+
+    def test_negative_index(self):
+        records = make_records()
+        table = SpanTable.from_records(records)
+        assert table[-1] == records[-1]
+
+    def test_out_of_range_raises(self):
+        table = SpanTable.from_records(make_records(2))
+        with pytest.raises(IndexError):
+            table[2]
+
+    def test_non_integer_index_rejected(self):
+        table = SpanTable.from_records(make_records(2))
+        with pytest.raises(TypeError):
+            table["calibrate"]
+
+    def test_empty_table_is_falsy(self):
+        table = SpanTable.from_records(())
+        assert len(table) == 0
+        assert not table
+        assert SpanTable.from_records(make_records(1))
+
+    def test_from_real_recorder(self):
+        rec = TraceRecorder()
+        with rec.span("campaign"):
+            with rec.span("calibrate", kernel="peak"):
+                pass
+        table = SpanTable.from_records(rec.spans)
+        assert table.records() == tuple(rec.spans)
+
+
+class TestPickleFootprint:
+    def test_pickles_smaller_than_records(self):
+        """The point of the columnar form: many spans must pickle to
+        (much) less than the same spans as SpanRecord instances."""
+        records = make_records(500)
+        table = SpanTable.from_records(records)
+        columnar = len(pickle.dumps(table))
+        rowwise = len(pickle.dumps(records))
+        assert columnar < rowwise * 0.8
+
+    def test_pickle_roundtrip_preserves_rows(self):
+        records = make_records(50)
+        table = pickle.loads(pickle.dumps(SpanTable.from_records(records)))
+        assert table.records() == records

@@ -1,0 +1,49 @@
+"""Suite smoke tests (quick mode) and the runner's report assembly."""
+
+import pytest
+
+from repro.trajectory import (
+    SUITE,
+    SUITE_CAMPAIGNS,
+    run_suite,
+    validate_report,
+)
+from repro.trajectory.suite import capped_sweep, uncapped_sweep
+
+
+class TestSuiteShape:
+    def test_suite_covers_schema_campaigns(self):
+        assert tuple(SUITE) == SUITE_CAMPAIGNS
+
+
+class TestSweeps:
+    def test_uncapped_sweep_never_throttles(self):
+        metrics = uncapped_sweep(quick=True)
+        assert metrics["n_throttled"] == 0
+        assert metrics["n_runs"] == 100
+        assert metrics["wall_seconds"] > 0
+        assert metrics["runs_per_second"] > 0
+
+    def test_capped_sweep_throttles_heavily_and_reports_speedup(self):
+        metrics = capped_sweep(quick=True)
+        # The grid is chosen so roughly half the points throttle --
+        # the batch governor is the hot path being timed.
+        assert metrics["n_throttled"] > metrics["n_runs"] // 3
+        assert metrics["scalar_seconds"] > metrics["wall_seconds"]
+        assert metrics["speedup_vs_scalar"] == pytest.approx(
+            metrics["scalar_seconds"] / metrics["wall_seconds"]
+        )
+
+
+class TestRunSuite:
+    def test_quick_suite_produces_valid_report(self):
+        report = run_suite(quick=True)
+        validate_report(report)
+        assert set(report["campaigns"]) == set(SUITE_CAMPAIGNS)
+        for name, metrics in report["campaigns"].items():
+            assert metrics["wall_seconds"] > 0, name
+
+    def test_progress_callback_sees_every_campaign(self):
+        seen = []
+        run_suite(quick=True, progress=lambda name, m: seen.append(name))
+        assert seen == list(SUITE_CAMPAIGNS)
