@@ -14,7 +14,7 @@ Commands
     Run the microbenchmark campaign on one platform and print the
     fitted vs ground-truth parameters.
 ``archline bench --trajectory [--check | --update]``
-    Run the fixed perf-trajectory suite (four campaigns) and write the
+    Run the fixed perf-trajectory suite (five campaigns) and write the
     schema-versioned ``BENCH_campaign.json``; ``--check`` gates the
     measurement against the committed baseline (exit 1 on a >10%
     wall-time regression), ``--update`` refreshes it.  Methodology:
@@ -30,10 +30,19 @@ Commands
     per-shard telemetry spans (calibrate/engine/measure/fit), writes
     them as JSONL (schema in docs/TELEMETRY.md), and prints a
     flame-style wall-time breakdown; ``--progress`` prints a live
-    per-shard line as each completes.  Example::
+    per-shard line as each completes.  ``--cache DIR`` (or the
+    ``ARCHLINE_CACHE`` environment variable) makes the campaign
+    incremental through the content-addressed store (docs/CACHE.md):
+    unchanged shards replay bit-identically from disk; ``--refresh``
+    recomputes and republishes, ``--no-cache`` ignores the environment
+    variable.  Example::
 
         archline campaign gtx-titan nuc-gpu --quick --workers 2 \\
-            --trace trace.jsonl --progress
+            --cache ~/.archline-cache --trace trace.jsonl --progress
+``archline cache stats|gc|verify [--dir DIR]``
+    Inspect and maintain the campaign store: entry counts and sizes,
+    reclamation of stale-engine entries, and integrity verification
+    (docs/CACHE.md).
 ``archline lint [PATH ...]``
     Run the repo's AST-based static-analysis rules (determinism,
     pool picklability, fault-exception hygiene, float equality, unit
@@ -218,10 +227,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="print a live per-shard progress line to stderr as each "
         "shard completes",
     )
+    camp_p.add_argument(
+        "--cache",
+        dest="cache_dir",
+        default=None,
+        metavar="DIR",
+        help="content-addressed store directory (default: $ARCHLINE_CACHE "
+        "if set); unchanged shards replay bit-identically from it "
+        "(docs/CACHE.md)",
+    )
+    camp_p.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="run uncached even when $ARCHLINE_CACHE is set",
+    )
+    camp_p.add_argument(
+        "--refresh",
+        action="store_true",
+        help="with a cache: skip lookups, recompute every shard and "
+        "republish",
+    )
 
     from .lint.cli import build_lint_parser
 
     build_lint_parser(sub)
+
+    from .store.cli import build_cache_parser
+
+    build_cache_parser(sub)
 
     sub.add_parser(
         "audit", help="internal-consistency audit of the paper's own numbers"
@@ -431,9 +464,13 @@ def _cmd_campaign(
     shard_timeout: float | None = None,
     trace_path: str | None = None,
     show_progress: bool = False,
+    cache_dir: str | None = None,
+    no_cache: bool = False,
+    cache_refresh: bool = False,
 ) -> str:
     from .faults import FaultPlan
     from .microbench.campaign import CampaignRunner
+    from .store.cli import resolve_cache_dir
 
     unknown = [p for p in platform_ids if p not in PLATFORM_IDS]
     if unknown:
@@ -447,6 +484,20 @@ def _cmd_campaign(
             plan = FaultPlan.parse(faults_spec)
         except ValueError as err:
             raise SystemExit(f"archline campaign: bad --faults spec: {err}")
+    if no_cache:
+        if cache_dir is not None:
+            raise SystemExit(
+                "archline campaign: --cache and --no-cache are mutually "
+                "exclusive"
+            )
+        cache = None
+    else:
+        cache = resolve_cache_dir(cache_dir)
+    if cache_refresh and cache is None:
+        raise SystemExit(
+            "archline campaign: --refresh needs a cache (--cache DIR or "
+            "$ARCHLINE_CACHE)"
+        )
     settings = CampaignSettings(seed=seed)
     if quick:
         settings = settings.scaled_down()
@@ -464,6 +515,8 @@ def _cmd_campaign(
         max_retries=max_retries,
         shard_timeout=shard_timeout,
         trace=trace_path is not None,
+        cache_dir=cache,
+        cache_refresh=cache_refresh,
     )
     progress = (
         _progress_printer(len(runner.platform_ids)) if show_progress else None
@@ -509,6 +562,14 @@ def _cmd_campaign(
             ]
         table.add_row(*row)
     out = table.render()
+    if cache is not None:
+        out += (
+            f"\n\ncache {cache}: {report.cache_hits} hits, "
+            f"{report.cache_misses} misses "
+            f"(hit rate {fmt_pct(report.cache_hit_rate)})"
+        )
+        if report.cache_stale:
+            out += f", {report.cache_stale} stale entries evicted"
     if resilient:
         out += (
             f"\n\nattempted {report.runs_attempted} runs: "
@@ -642,9 +703,16 @@ def main(argv: Sequence[str] | None = None) -> int:
                 shard_timeout=args.shard_timeout,
                 trace_path=args.trace,
                 show_progress=args.progress,
+                cache_dir=args.cache_dir,
+                no_cache=args.no_cache,
+                cache_refresh=args.refresh,
             )
         )
         return 0
+    if args.command == "cache":
+        from .store.cli import run_cache
+
+        return run_cache(args)
     if args.command == "lint":
         from .lint.cli import run_lint
 

@@ -6,7 +6,7 @@ picklable dataclasses on the process-pool boundary, rig-fault
 exceptions that must never be silently swallowed, and the physical-unit
 bookkeeping mirroring the paper's theta = (tau, eps, pi1, delta_pi)
 vector.  This package enforces them with a dependency-free rule pack
-(``ARCH001``-``ARCH006``), inline ``# archlint: disable=CODE``
+(``ARCH001``-``ARCH007``), inline ``# archlint: disable=CODE``
 suppressions, a committed JSON baseline, and text/JSON/GitHub-annotation
 output.  Run it as ``archline lint`` (see docs/LINT.md for the rule
 catalog).

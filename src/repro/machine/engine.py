@@ -51,7 +51,24 @@ from .kernel import DRAM, KernelSpec
 from .noise import apply_trace_noise, insert_stalls, lognormal_factor, sample_stalls
 from .power import PowerTrace
 
-__all__ = ["RunResult", "BatchResult", "SessionResult", "Engine"]
+__all__ = [
+    "ENGINE_FINGERPRINT_VERSION",
+    "RunResult",
+    "BatchResult",
+    "SessionResult",
+    "Engine",
+]
+
+#: Version of the engine's *observable semantics*, as seen by the
+#: content-addressed campaign store (:mod:`repro.store`).  Every cached
+#: cell key includes this number, so bumping it invalidates the whole
+#: cache at once.  Bump it -- by convention, in the same commit --
+#: whenever a change alters what the engine (or anything between it and
+#: an :class:`~repro.microbench.runner.Observation`: governor, noise,
+#: measurement rig, calibration) computes for identical inputs.  Pure
+#: refactors, speedups proven bit-identical by the differential tests,
+#: and new optional features that default off do NOT require a bump.
+ENGINE_FINGERPRINT_VERSION = 1
 
 
 @dataclass(frozen=True)

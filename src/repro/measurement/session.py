@@ -165,6 +165,7 @@ def measure_session(
     *,
     powermon: PowerMon | None = None,
     faults: FaultPlan | FaultInjector | None = None,
+    allow_truncated: bool = False,
     **detect_kwargs,
 ) -> SessionMeasurement:
     """Sample a session trace and extract per-run measurements.
@@ -179,7 +180,12 @@ def measure_session(
     plan's channel-level corruption too.  Window detection on a
     truncated recording raises
     :class:`~repro.faults.errors.TruncatedSessionError` unless
-    ``allow_truncated=True`` is passed through ``detect_kwargs``.
+    ``allow_truncated=True`` -- an explicit parameter here (not just a
+    ``detect_kwargs`` pass-through), because callers running under an
+    active fault plan must decide the policy, and a typo'd kwarg
+    should fail loudly rather than silently keep the fail-fast
+    default.  Remaining ``detect_kwargs`` go to
+    :func:`detect_windows` unchanged.
     """
     injector: FaultInjector | None = None
     if faults is not None:
@@ -195,7 +201,12 @@ def measure_session(
         mon = powermon
     measurement = mon.measure({"session": trace})
     channel = measurement.channel("session")
-    windows = detect_windows(channel.times, channel.power, **detect_kwargs)
+    windows = detect_windows(
+        channel.times,
+        channel.power,
+        allow_truncated=allow_truncated,
+        **detect_kwargs,
+    )
     readings = []
     dropped = 0
     for w in windows:

@@ -32,6 +32,12 @@ reproducible regardless of worker count:
   (:mod:`repro.telemetry.jsonl`) or rendered as a flame-style
   wall-time breakdown (:mod:`repro.telemetry.summary`).  The default
   no-op recorder leaves results bit-for-bit identical.
+* **Incrementality.**  With ``cache_dir`` set every shard is keyed in
+  a content-addressed store (:mod:`repro.store`, docs/CACHE.md):
+  lookups before compute, publication after, hit/miss/stale counters
+  in every :class:`ShardReport`.  Replayed shards are bit-identical to
+  computed ones -- the cache changes *whether* a shard runs, never
+  what it produces.
 * **Resilience.**  A shard that raises, crashes its worker process or
   misses the ``shard_timeout`` deadline is quarantined -- recorded in
   the report with a named status and excluded from the returned fits
@@ -51,13 +57,15 @@ import os
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from concurrent.futures import TimeoutError as FuturesTimeoutError
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable, Sequence
 
 import numpy as np
 
 from ..faults.plan import FaultPlan
 from ..machine.platforms import PLATFORM_IDS, platform
+from ..store.fingerprint import shard_key
+from ..store.store import CampaignStore
 from ..telemetry.jsonl import trace_bytes as _trace_bytes
 from ..telemetry.recorder import (
     NULL_RECORDER,
@@ -109,6 +117,12 @@ class ShardSpec:
     max_retries: int = 2  #: per-run retry budget under faults.
     retry_backoff: float = 0.0  #: first retry delay, s (doubles per retry).
     trace: bool = False  #: record telemetry spans for this shard.
+    #: Content-addressed store directory (docs/CACHE.md); ``None``
+    #: disables caching.  Excluded (with ``cache_refresh`` and
+    #: ``trace``) from the shard's cell key -- caching must never
+    #: change what is computed, only whether it is recomputed.
+    cache_dir: str | None = None
+    cache_refresh: bool = False  #: recompute and republish even on a hit.
 
 
 @dataclass(frozen=True)
@@ -138,6 +152,13 @@ class ShardReport:
     samples_corrupted: int = 0  #: dropped + NaN + saturated samples.
     quarantined: tuple[QuarantinedCell, ...] = ()
     backoff_seconds: float = 0.0  #: seconds slept in retry backoff.
+    #: Store counters (all zero when the shard ran uncached).  A shard
+    #: is all-or-nothing, so ``cache_hits + cache_misses <= 1``;
+    #: ``cache_stale`` counts corrupt/foreign entries evicted on the
+    #: way (each also produced the miss that recomputed the cell).
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_stale: int = 0
     trace_bytes: int = 0  #: JSONL-encoded size of ``spans``, bytes.
     #: Telemetry spans this shard recorded (empty unless the spec set
     #: ``trace``).  Shipped across the pool boundary as a columnar
@@ -234,6 +255,28 @@ class CampaignReport:
     def samples_corrupted(self) -> int:
         return sum(shard.samples_corrupted for shard in self.shards)
 
+    # -- store aggregates ---------------------------------------------
+
+    @property
+    def cache_hits(self) -> int:
+        """Shards replayed from the content-addressed store."""
+        return sum(shard.cache_hits for shard in self.shards)
+
+    @property
+    def cache_misses(self) -> int:
+        """Shards that consulted the store and had to compute."""
+        return sum(shard.cache_misses for shard in self.shards)
+
+    @property
+    def cache_stale(self) -> int:
+        """Corrupt/foreign store entries evicted during lookups."""
+        return sum(shard.cache_stale for shard in self.shards)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
     # -- telemetry aggregates -----------------------------------------
 
     @property
@@ -277,10 +320,42 @@ def run_shard(spec: ShardSpec) -> tuple[FittedPlatform, ShardReport]:
     resulting spans travel back inside the :class:`ShardReport`.  The
     recorder never touches the random streams, so traced and untraced
     shards produce bit-identical fits.
+
+    With ``spec.cache_dir`` set the shard is *incremental*: its cell
+    key (:func:`repro.store.fingerprint.shard_key`) is looked up in the
+    content-addressed store first -- recorded as a ``cache_lookup``
+    span -- and a hit replays the cached ``(fit, report)`` pair
+    bit-identically instead of computing; a miss computes as usual and
+    publishes the result under a ``cache_store`` span.  Cached entries
+    carry the original compute counters but never spans (telemetry is
+    per-execution, not content), and ``wall_seconds`` always reports
+    *this* invocation's time.
     """
     started = time.perf_counter()
     recorder = TraceRecorder() if spec.trace else NULL_RECORDER
     config = platform(spec.platform_id)
+    store: CampaignStore | None = None
+    key = ""
+    if spec.cache_dir is not None:
+        store = CampaignStore(spec.cache_dir)
+        key = shard_key(config, spec)
+        if not spec.cache_refresh:
+            with recorder.span(
+                "cache_lookup", platform=spec.platform_id, key=key[:12]
+            ):
+                cached = store.get(key, kind="shard")
+            if cached is not None:
+                fitted, cached_report = cached
+                spans = recorder.records()
+                report = replace(
+                    cached_report,
+                    wall_seconds=time.perf_counter() - started,
+                    cache_hits=1,
+                    cache_stale=store.stale,
+                    trace_bytes=_trace_bytes(spec.platform_id, spans),
+                    spans=SpanTable.from_records(spans) if spans else (),
+                )
+                return fitted, report
     grid = balanced_intensities(
         config, points_per_octave=spec.points_per_octave
     )
@@ -309,10 +384,12 @@ def run_shard(spec: ShardSpec) -> tuple[FittedPlatform, ShardReport]:
             rng=np.random.default_rng(spec.seed + 1),
             recorder=recorder,
         )
-    spans = recorder.records()
-    shipped = SpanTable.from_records(spans) if spans else ()
     fault_counters = runner.fault_counters
-    report = ShardReport(
+    # The publishable report: compute counters only.  Spans, trace
+    # bytes and cache counters describe *this execution*, not the
+    # shard's content, so they stay out of the store -- replay attaches
+    # its own.
+    base = ShardReport(
         platform_id=spec.platform_id,
         seed=spec.seed,
         n_runs=campaign.n_runs,
@@ -328,6 +405,21 @@ def run_shard(spec: ShardSpec) -> tuple[FittedPlatform, ShardReport]:
         samples_corrupted=fault_counters.samples_corrupted,
         quarantined=tuple(runner.quarantined),
         backoff_seconds=runner.backoff_seconds,
+    )
+    if store is not None:
+        with recorder.span(
+            "cache_store", platform=spec.platform_id, key=key[:12]
+        ):
+            store.put(
+                key, (fitted, base), kind="shard", platform=spec.platform_id
+            )
+    spans = recorder.records()
+    shipped = SpanTable.from_records(spans) if spans else ()
+    report = replace(
+        base,
+        wall_seconds=time.perf_counter() - started,
+        cache_misses=1 if store is not None else 0,
+        cache_stale=store.stale if store is not None else 0,
         trace_bytes=_trace_bytes(spec.platform_id, spans),
         spans=shipped,
     )
@@ -394,6 +486,15 @@ class CampaignRunner:
         :func:`repro.telemetry.jsonl.write_trace` or rendered with
         :func:`repro.telemetry.summary.render_summary`.  Off by
         default -- the no-op recorder keeps results bit-identical.
+    cache_dir:
+        Content-addressed store directory (docs/CACHE.md).  Each shard
+        consults the store before computing and publishes after, so a
+        re-run with an unchanged configuration replays every shard
+        bit-identically from disk; editing one platform recomputes only
+        that platform's shard.  ``None`` (default) disables caching.
+    cache_refresh:
+        Skip store lookups but still publish: every shard recomputes
+        and overwrites its entry.  Requires ``cache_dir``.
     """
 
     def __init__(
@@ -414,6 +515,8 @@ class CampaignRunner:
         shard_timeout: float | None = None,
         shard_fn: Callable[[ShardSpec], tuple[FittedPlatform, ShardReport]] = run_shard,
         trace: bool = False,
+        cache_dir: str | os.PathLike[str] | None = None,
+        cache_refresh: bool = False,
     ) -> None:
         self.platform_ids = tuple(
             PLATFORM_IDS if platform_ids is None else platform_ids
@@ -434,6 +537,8 @@ class CampaignRunner:
             raise ValueError("max_workers must be >= 1")
         if shard_timeout is not None and not shard_timeout > 0:
             raise ValueError("shard_timeout must be positive (or None)")
+        if cache_refresh and cache_dir is None:
+            raise ValueError("cache_refresh requires cache_dir")
         self.seed = seed
         self.max_workers = max_workers
         self.replicates = replicates
@@ -448,6 +553,8 @@ class CampaignRunner:
         self.shard_timeout = shard_timeout
         self.shard_fn = shard_fn
         self.trace = trace
+        self.cache_dir = None if cache_dir is None else os.fspath(cache_dir)
+        self.cache_refresh = cache_refresh
         self.report: CampaignReport | None = None
         #: Errors raised by the user ``progress`` callback during the
         #: last :meth:`run` (swallowed so they cannot abandon the
@@ -471,6 +578,8 @@ class CampaignRunner:
                 max_retries=self.max_retries,
                 retry_backoff=self.retry_backoff,
                 trace=self.trace,
+                cache_dir=self.cache_dir,
+                cache_refresh=self.cache_refresh,
             )
             for pid, shard_seed in zip(self.platform_ids, seeds)
         ]

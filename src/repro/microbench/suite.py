@@ -8,6 +8,11 @@ capped and uncapped models to *all* runs (the paper: "These include
 runs in which the total data accessed only fits in a given level of
 the memory hierarchy"), yielding one complete, *measured* Table I row
 that can be compared against the platform's ground truth.
+
+Both functions accept a content-addressed ``store``
+(:class:`~repro.store.store.CampaignStore`, docs/CACHE.md): the cell
+key covers every input that can change the result, a hit replays the
+cached object bit-identically, and a miss computes then publishes.
 """
 
 from __future__ import annotations
@@ -22,6 +27,8 @@ from ..faults.plan import FaultPlan
 from ..machine.config import PlatformConfig
 from ..machine.kernel import DRAM
 from ..measurement.powermon import PowerMon
+from ..store.fingerprint import campaign_key, fit_key
+from ..store.store import CampaignStore
 from ..telemetry.recorder import NULL_RECORDER, TraceRecorder
 from .cachebench import cache_sweep
 from .intensity import intensity_sweep
@@ -94,6 +101,8 @@ def run_campaign(
     faults: FaultPlan | None = None,
     max_retries: int = 2,
     recorder: TraceRecorder | None = NULL_RECORDER,
+    store: CampaignStore | None = None,
+    cache_refresh: bool = False,
 ) -> Campaign:
     """Run the full Section IV benchmark suite on one platform.
 
@@ -106,7 +115,51 @@ def run_campaign(
     (recorded on :attr:`Campaign.quarantined`) and the campaign
     completes on what survives.  Each suite stage records a ``sweep``
     span on the runner's recorder (a no-op by default).
+
+    With ``store`` set the campaign is looked up by its content key
+    (:func:`repro.store.fingerprint.campaign_key`) first and published
+    after computing; a hit replays the cached :class:`Campaign`
+    bit-identically.  Incompatible with a preconstructed ``runner``
+    (its calibration/fault counters would not advance on a hit -- the
+    parallel shards cache at shard granularity instead,
+    :func:`repro.microbench.campaign.run_shard`) and with a custom
+    ``powermon`` (the instrument changes observations but has no
+    stable fingerprint).  ``cache_refresh`` skips the lookup but still
+    publishes.
     """
+    rec0 = NULL_RECORDER if recorder is None else recorder
+    key = ""
+    if store is not None:
+        if runner is not None:
+            raise ValueError(
+                "store cannot be combined with a preconstructed runner; "
+                "cache at shard granularity instead (run_shard)"
+            )
+        if powermon is not None:
+            raise ValueError(
+                "store cannot be combined with a custom powermon: the "
+                "instrument changes observations but has no stable "
+                "fingerprint"
+            )
+        key = campaign_key(
+            config,
+            seed=seed,
+            replicates=replicates,
+            intensities=intensities,
+            target_duration=target_duration,
+            include_double=include_double,
+            include_cache=include_cache,
+            include_chase=include_chase,
+            faults=faults,
+            max_retries=max_retries,
+        )
+        if not cache_refresh:
+            with rec0.span(
+                "cache_lookup", platform=config.name, key=key[:12]
+            ):
+                cached = store.get(key, kind="campaign")
+            if cached is not None:
+                return cached
     if runner is None:
         runner = BenchmarkRunner(
             config,
@@ -146,7 +199,7 @@ def run_campaign(
                 runner, precision="double", replicates=max(replicates, 2)
             )
         stream = peak_stream(runner, replicates=max(replicates, 2))
-    return Campaign(
+    campaign = Campaign(
         config=config,
         intensity_single=single,
         intensity_double=double,
@@ -157,6 +210,10 @@ def run_campaign(
         stream_obs=stream,
         quarantined=tuple(runner.quarantined),
     )
+    if store is not None:
+        with rec0.span("cache_store", platform=config.name, key=key[:12]):
+            store.put(key, campaign, kind="campaign", platform=config.name)
+    return campaign
 
 
 def to_fit_observations(observations: list[Observation]) -> FitObservations:
@@ -267,15 +324,33 @@ def fit_campaign(
     anchor_times: bool = True,
     rng: np.random.Generator | None = None,
     recorder: TraceRecorder | None = NULL_RECORDER,
+    store: CampaignStore | None = None,
+    cache_refresh: bool = False,
 ) -> FittedPlatform:
     """Reproduce the Section V-A fitting procedure on one campaign.
 
     ``recorder`` (no-op by default) gets one span per model fit
     (capped, uncapped, double), so traced campaigns show how much of a
     shard's wall time the fitting stage consumed.
+
+    With ``store`` set the fit is keyed on the campaign's *content*
+    plus the fit options and the ``rng``'s entry state
+    (:func:`repro.store.fingerprint.fit_key`).  On a hit the cached
+    :class:`FittedPlatform` replays bit-identically and ``rng`` is
+    **not consumed** -- callers drawing further values from it must
+    treat the generator as campaign-scoped (the shard path constructs
+    a fresh one per fit, so this costs nothing there).
     """
     rec = NULL_RECORDER if recorder is None else recorder
     config = campaign.config
+    key = ""
+    if store is not None:
+        key = fit_key(campaign, anchor_times=anchor_times, rng=rng)
+        if not cache_refresh:
+            with rec.span("cache_lookup", platform=config.name, key=key[:12]):
+                cached = store.get(key, kind="fit")
+            if cached is not None:
+                return cached
     main_obs = to_fit_observations(campaign.single_precision_runs)
     with rec.span("fit", model="capped"):
         capped = fit_machine(
@@ -306,7 +381,7 @@ def fit_campaign(
         if campaign.peak_double:
             sustained_d = sustained_flops(campaign.peak_double)
 
-    return FittedPlatform(
+    fitted = FittedPlatform(
         config=config,
         campaign=campaign,
         capped=capped,
@@ -315,3 +390,7 @@ def fit_campaign(
         eps_flop_double=eps_d,
         sustained_flops_double=sustained_d,
     )
+    if store is not None:
+        with rec.span("cache_store", platform=config.name, key=key[:12]):
+            store.put(key, fitted, kind="fit", platform=config.name)
+    return fitted

@@ -1,0 +1,44 @@
+"""Content-addressed observation/fit cache for incremental campaigns.
+
+Campaigns are deterministic functions of their inputs -- platform
+config, campaign-size knobs, seed, fault plan, engine version.  This
+package keys each campaign cell on a sha1 fingerprint of exactly those
+inputs (:mod:`repro.store.fingerprint`) and caches the computed results
+on disk (:mod:`repro.store.store`), so re-running a campaign after
+editing one platform recomputes only that platform's cells and replays
+the rest bit-identically from the store.  See ``docs/CACHE.md`` for the
+key schema, invalidation rules, atomicity guarantees and maintenance
+commands (``archline cache stats|gc|verify``).
+"""
+
+from __future__ import annotations
+
+from .atomic import atomic_write_bytes, atomic_write_text
+from .fingerprint import (
+    campaign_content_fingerprint,
+    campaign_key,
+    canonical,
+    engine_fingerprint_version,
+    fingerprint,
+    fit_key,
+    platform_fingerprint,
+    shard_key,
+)
+from .store import CampaignStore, GcResult, StoreEntryInfo, StoreStats
+
+__all__ = [
+    "CampaignStore",
+    "StoreEntryInfo",
+    "StoreStats",
+    "GcResult",
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "canonical",
+    "fingerprint",
+    "engine_fingerprint_version",
+    "platform_fingerprint",
+    "shard_key",
+    "campaign_key",
+    "campaign_content_fingerprint",
+    "fit_key",
+]

@@ -1,6 +1,6 @@
 """Run the perf-trajectory suite and read/write its JSON report.
 
-``run_suite`` executes the four fixed campaigns
+``run_suite`` executes the five fixed campaigns
 (:data:`repro.trajectory.suite.SUITE`) and assembles the
 schema-versioned report dict; ``write_report``/``load_report``
 round-trip it through ``BENCH_campaign.json`` (validating on both
@@ -14,6 +14,7 @@ import json
 from pathlib import Path
 from typing import Any, Callable
 
+from ..store.atomic import atomic_write_text
 from .schema import (
     REPORT_KIND,
     SCHEMA_VERSION,
@@ -56,14 +57,18 @@ def run_suite(
 
 
 def write_report(path: str | Path, report: dict[str, Any]) -> Path:
-    """Validate and write a report as stable, diffable JSON."""
+    """Validate and write a report as stable, diffable JSON.
+
+    The write is atomic (temp file + ``os.replace``): a crash or a
+    full disk mid-write leaves any existing baseline untouched instead
+    of replacing it with a truncated file that every later ``--check``
+    would fail against.
+    """
     validate_report(report)
-    path = Path(path)
-    path.write_text(
+    return atomic_write_text(
+        path,
         json.dumps(_rounded(report), indent=2, sort_keys=True) + "\n",
-        encoding="utf-8",
     )
-    return path
 
 
 def load_report(path: str | Path) -> dict[str, Any]:

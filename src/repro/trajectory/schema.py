@@ -14,7 +14,9 @@ report is a single JSON object::
                             "n_runs": ..., ...},
         "capped_sweep":    {... "n_throttled", "speedup_vs_scalar" ...},
         "faulted_campaign":{... shard counters ...},
-        "pool_campaign":   {... "parallel_efficiency", "workers" ...}
+        "pool_campaign":   {... "parallel_efficiency", "workers" ...},
+        "cached_campaign": {... "warm_speedup", "cache_hits",
+                            "fits_identical" ...}
       }
     }
 
@@ -57,6 +59,7 @@ SUITE_CAMPAIGNS = (
     "capped_sweep",
     "faulted_campaign",
     "pool_campaign",
+    "cached_campaign",
 )
 
 #: Environment fields every report carries (all strings except

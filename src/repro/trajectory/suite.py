@@ -1,6 +1,6 @@
 """The fixed campaign suite behind ``BENCH_campaign.json``.
 
-Four campaigns, chosen so each exercises one distinct execution path
+Five campaigns, chosen so each exercises one distinct execution path
 whose speed the repo has promised to keep:
 
 ``uncapped_sweep``
@@ -20,6 +20,13 @@ whose speed the repo has promised to keep:
     A four-platform campaign through the process pool, reporting
     ``parallel_efficiency`` and the shard counters that ride back over
     the pickle boundary.
+``cached_campaign``
+    The same four platforms run cold into a fresh content-addressed
+    store and then warm from it (docs/CACHE.md).  ``wall_seconds`` is
+    the *warm* replay -- the time an incremental re-run costs -- and
+    the metrics record the cold time, the warm speedup, the hit/miss
+    counters and a ``fits_identical`` bit asserting the replay matched
+    the compute bit-for-bit.
 
 Each function returns a flat ``{metric: number}`` dict (the report
 schema validates every value is a finite number) and takes ``quick``
@@ -33,6 +40,8 @@ like the real workload they stand for).
 
 from __future__ import annotations
 
+import pickle
+import tempfile
 import time
 from typing import Callable
 
@@ -50,6 +59,7 @@ __all__ = [
     "capped_sweep",
     "faulted_campaign",
     "pool_campaign",
+    "cached_campaign",
 ]
 
 _SWEEP_POINTS = 1000
@@ -183,10 +193,76 @@ def pool_campaign(*, seed: int = 2014, quick: bool = False) -> dict:
     return metrics
 
 
+def _fits_identical(a: dict, b: dict) -> bool:
+    """Whether two fit dicts match bit-for-bit in content.
+
+    Compared value-wise (campaign observations by dataclass equality --
+    exact float comparison -- and fitted parameters by pickle bytes)
+    rather than as whole-object pickles, whose bytes also encode
+    internal reference sharing that replay legitimately reshapes.
+    """
+    if set(a) != set(b):
+        return False
+    for pid in a:
+        fa, fb = a[pid], b[pid]
+        if fa.campaign != fb.campaign:
+            return False
+        if pickle.dumps(fa.fitted_params) != pickle.dumps(fb.fitted_params):
+            return False
+        if fa.uncapped.params != fb.uncapped.params:
+            return False
+    return True
+
+
+def cached_campaign(*, seed: int = 2014, quick: bool = False) -> dict:
+    """Cold-then-warm campaign through the content-addressed store.
+
+    ``wall_seconds`` (the gated metric) is the **warm** run: the cost
+    of an incremental re-run when nothing changed.  Runs inline --
+    process-pool startup would swamp a replay that does no compute.
+    """
+
+    def runner_for(cache_dir: str) -> CampaignRunner:
+        return CampaignRunner(
+            ("gtx-titan", "xeon-phi", "arndale-gpu", "nuc-gpu"),
+            seed=seed,
+            max_workers=1,
+            replicates=1,
+            points_per_octave=1 if quick else 2,
+            target_duration=0.1,
+            include_double=False,
+            cache_dir=cache_dir,
+        )
+
+    with tempfile.TemporaryDirectory(prefix="archline-cache-") as cache_dir:
+        cold_runner = runner_for(cache_dir)
+        cold_fits = cold_runner.run()
+        cold_report = cold_runner.report
+        assert cold_report is not None
+        warm_runner = runner_for(cache_dir)
+        warm_fits = warm_runner.run()
+        warm_report = warm_runner.report
+        assert warm_report is not None
+    wall = warm_report.wall_seconds
+    return {
+        "wall_seconds": wall,
+        "n_runs": warm_report.n_runs,
+        "runs_per_second": warm_report.n_runs / wall if wall > 0 else 0.0,
+        "cold_seconds": cold_report.wall_seconds,
+        "warm_speedup": cold_report.wall_seconds / wall if wall > 0 else 0.0,
+        "cache_hits": warm_report.cache_hits,
+        "cache_misses": warm_report.cache_misses,
+        "cache_stale": warm_report.cache_stale,
+        "cold_misses": cold_report.cache_misses,
+        "fits_identical": int(_fits_identical(cold_fits, warm_fits)),
+    }
+
+
 #: The suite in run order; keys match ``schema.SUITE_CAMPAIGNS``.
 SUITE: dict[str, Callable[..., dict]] = {
     "uncapped_sweep": uncapped_sweep,
     "capped_sweep": capped_sweep,
     "faulted_campaign": faulted_campaign,
     "pool_campaign": pool_campaign,
+    "cached_campaign": cached_campaign,
 }

@@ -1,0 +1,135 @@
+"""ARCH007: positive and negative fixtures for store key stability."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.lint import lint_source
+
+STORE_MODULE = "repro.store.store"
+
+
+def lint(source: str, module: str = STORE_MODULE):
+    return lint_source(
+        textwrap.dedent(source), module=module, codes=["ARCH007"]
+    )
+
+
+def test_flags_unfrozen_store_dataclass():
+    findings = lint(
+        """
+        from dataclasses import dataclass
+
+        @dataclass
+        class EntryHeader:
+            key: str
+        """
+    )
+    assert [f.code for f in findings] == ["ARCH007"]
+    assert "frozen=True" in findings[0].message
+
+
+def test_flags_set_annotated_field():
+    findings = lint(
+        """
+        from dataclasses import dataclass
+
+        @dataclass(frozen=True)
+        class EntryHeader:
+            kinds: set[str]
+        """
+    )
+    assert [f.code for f in findings] == ["ARCH007"]
+    assert "EntryHeader.kinds" in findings[0].message
+    assert "stable content fingerprint" in findings[0].message
+
+
+def test_flags_frozenset_and_callable():
+    findings = lint(
+        """
+        from dataclasses import dataclass
+        from typing import Callable, FrozenSet
+
+        @dataclass(frozen=True)
+        class EntryHeader:
+            kinds: FrozenSet[str]
+            loader: Callable[[], bytes]
+        """
+    )
+    assert sorted(f.code for f in findings) == ["ARCH007", "ARCH007"]
+
+
+def test_accepts_frozen_with_ordered_fields():
+    assert (
+        lint(
+            """
+            from dataclasses import dataclass
+
+            @dataclass(frozen=True)
+            class EntryHeader:
+                key: str
+                by_kind: dict[str, int]
+                platforms: tuple[str, ...]
+            """
+        )
+        == []
+    )
+
+
+def test_classvar_fields_exempt():
+    assert (
+        lint(
+            """
+            from dataclasses import dataclass
+            from typing import ClassVar
+
+            @dataclass(frozen=True)
+            class EntryHeader:
+                KNOWN_KINDS: ClassVar[set] = {"shard", "fit"}
+                key: str = ""
+            """
+        )
+        == []
+    )
+
+
+def test_plain_classes_exempt():
+    assert (
+        lint(
+            """
+            class NotADataclass:
+                kinds: set[str]
+            """
+        )
+        == []
+    )
+
+
+def test_scope_is_store_only():
+    findings = lint(
+        """
+        from dataclasses import dataclass
+
+        @dataclass
+        class EntryHeader:
+            kinds: set[str]
+        """,
+        module="repro.microbench.suite",
+    )
+    assert [f.code for f in findings] == []
+
+
+def test_repo_store_package_is_clean():
+    """The shipped store modules satisfy their own rule."""
+    from pathlib import Path
+
+    import repro.store as store_pkg
+
+    pkg_dir = Path(store_pkg.__file__).parent
+    for path in sorted(pkg_dir.glob("*.py")):
+        findings = lint_source(
+            path.read_text(),
+            module=f"repro.store.{path.stem}",
+            codes=["ARCH007"],
+        )
+        assert findings == [], f"{path.name}: {findings}"

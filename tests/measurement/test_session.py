@@ -231,6 +231,37 @@ class TestTruncatedSessions:
         )
         assert windows == []
 
+    def test_measure_session_strict_by_default(self):
+        """Truncation surfaces as the named error unless the caller
+        explicitly opts into partial sessions."""
+        cfg = platform("gtx-titan")
+        engine = Engine(cfg, rng=np.random.default_rng(2))
+        kernels = [
+            KernelSpec(
+                name=f"k{i}", flops=2e9, traffic={DRAM: 1e9}
+            ).scaled(50)
+            for i in range(3)
+        ]
+        session = engine.run_session(kernels, idle_gap=0.08)
+        plan = FaultPlan(
+            seed=1, truncation_rate=1.0, truncation_fraction=0.5
+        )
+        with pytest.raises(TruncatedSessionError):
+            measure_session(session.trace, faults=plan)
+        assert measure_session(
+            session.trace, faults=plan, allow_truncated=True
+        ).truncated
+
+    def test_measure_session_rejects_typoed_kwarg(self):
+        """allow_truncated is an explicit parameter: a misspelling
+        must fail loudly instead of silently re-enabling strictness."""
+        cfg = platform("gtx-titan")
+        engine = Engine(cfg, rng=np.random.default_rng(2))
+        kernels = [KernelSpec(name="k", flops=2e9, traffic={DRAM: 1e9})]
+        session = engine.run_session(kernels, idle_gap=0.08)
+        with pytest.raises(TypeError):
+            measure_session(session.trace, allow_truncatd=True)
+
     def test_measure_session_truncation_fault_sets_flag(self):
         cfg = platform("gtx-titan")
         engine = Engine(cfg, rng=np.random.default_rng(2))

@@ -130,6 +130,29 @@ class TestRoundTrip:
         write_report(path, report)
         assert "0.123457" in path.read_text()
 
+    def test_partial_write_never_replaces_baseline(
+        self, tmp_path, monkeypatch
+    ):
+        """A crash mid-write must leave the committed baseline intact
+        (the write goes through a temp file + ``os.replace``)."""
+        import repro.store.atomic as atomic_module
+
+        path = tmp_path / "BENCH_campaign.json"
+        write_report(path, minimal_report())
+        baseline = path.read_bytes()
+
+        def explode(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(atomic_module.os, "replace", explode)
+        broken = minimal_report()
+        broken["campaigns"]["uncapped_sweep"]["wall_seconds"] = 999.0
+        with pytest.raises(OSError, match="disk full"):
+            write_report(path, broken)
+        assert path.read_bytes() == baseline
+        # No stray temp files alongside the baseline either.
+        assert list(tmp_path.iterdir()) == [path]
+
     def test_load_rejects_invalid_json(self, tmp_path):
         path = tmp_path / "bad.json"
         path.write_text("{not json")

@@ -8,7 +8,11 @@ from repro.trajectory import (
     run_suite,
     validate_report,
 )
-from repro.trajectory.suite import capped_sweep, uncapped_sweep
+from repro.trajectory.suite import (
+    cached_campaign,
+    capped_sweep,
+    uncapped_sweep,
+)
 
 
 class TestSuiteShape:
@@ -32,6 +36,21 @@ class TestSweeps:
         assert metrics["scalar_seconds"] > metrics["wall_seconds"]
         assert metrics["speedup_vs_scalar"] == pytest.approx(
             metrics["scalar_seconds"] / metrics["wall_seconds"]
+        )
+
+
+class TestCachedCampaign:
+    def test_cold_then_warm_metrics(self):
+        metrics = cached_campaign(quick=True)
+        # All four shards miss cold, hit warm, and replay identically.
+        assert metrics["cold_misses"] == 4
+        assert metrics["cache_hits"] == 4
+        assert metrics["cache_misses"] == 0
+        assert metrics["cache_stale"] == 0
+        assert metrics["fits_identical"] == 1
+        assert metrics["cold_seconds"] > metrics["wall_seconds"] > 0
+        assert metrics["warm_speedup"] == pytest.approx(
+            metrics["cold_seconds"] / metrics["wall_seconds"]
         )
 
 
