@@ -43,6 +43,14 @@ Commands
     Inspect and maintain the campaign store: entry counts and sizes,
     reclamation of stale-engine entries, and integrity verification
     (docs/CACHE.md).
+``archline serve [--port P] [--max-batch N] [--linger-us US]``
+    Run the async batched prediction service (docs/SERVE.md): POST
+    JSON queries to ``/predict`` and concurrent requests coalesce into
+    vectorised engine batches; ``/stats`` exposes batching, theta-hat
+    and store counters; ``--trace out.jsonl`` writes the run's
+    telemetry spans on shutdown.  ``--cache DIR`` (or
+    ``$ARCHLINE_CACHE``) backs ``"theta": "fitted"`` queries with the
+    content-addressed campaign store.
 ``archline lint [PATH ...]``
     Run the repo's AST-based static-analysis rules (determinism,
     pool picklability, fault-exception hygiene, float equality, unit
@@ -255,6 +263,10 @@ def build_parser() -> argparse.ArgumentParser:
     from .store.cli import build_cache_parser
 
     build_cache_parser(sub)
+
+    from .serve.cli import build_serve_parser
+
+    build_serve_parser(sub)
 
     sub.add_parser(
         "audit", help="internal-consistency audit of the paper's own numbers"
@@ -713,6 +725,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         from .store.cli import run_cache
 
         return run_cache(args)
+    if args.command == "serve":
+        from .serve.cli import run_serve
+
+        return run_serve(args)
     if args.command == "lint":
         from .lint.cli import run_lint
 

@@ -1,0 +1,72 @@
+"""Shared helpers for the serve suite.
+
+Every test here drives a real :class:`~repro.serve.server.PredictServer`
+over real sockets (loopback, ephemeral ports) -- the suite's whole
+point is proving the *service*, not its pieces in isolation.  Tests
+are plain sync functions running their scenario through
+``asyncio.run`` (the repo does not assume pytest-asyncio), so each
+test gets a fresh event loop and cannot leak loop state into its
+neighbours.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Awaitable, Callable
+
+from repro.serve import PredictServer
+from repro.serve.loadgen import HttpClient
+from repro.serve.protocol import (
+    build_kernel,
+    encode_prediction,
+    parse_predict_body,
+)
+
+__all__ = [
+    "drive",
+    "oracle_prediction",
+    "post_predict",
+]
+
+
+def drive(
+    scenario: Callable[[PredictServer], Awaitable[Any]],
+    **server_kwargs: Any,
+) -> Any:
+    """Run ``scenario(server)`` against a live server on a fresh loop.
+
+    The server binds an ephemeral loopback port and is shut down
+    gracefully (drain + batcher flush) before the loop closes, so a
+    failing scenario cannot leave sockets behind.
+    """
+
+    async def main() -> Any:
+        async with PredictServer(port=0, **server_kwargs) as server:
+            return await scenario(server)
+
+    return asyncio.run(main())
+
+
+async def post_predict(
+    port: int, query: dict[str, Any]
+) -> tuple[int, dict[str, Any]]:
+    """One ``POST /predict`` on a throwaway connection."""
+    client = HttpClient("127.0.0.1", port)
+    try:
+        return await client.request("POST", "/predict", query, close=True)
+    finally:
+        await client.close()
+
+
+def oracle_prediction(
+    server: PredictServer, query: dict[str, Any]
+) -> dict[str, Any]:
+    """The unbatched ground truth for ``query``: the same resolver and
+    engine, driven through scalar ``Engine.run``, encoded by the same
+    encoder the server uses.  Batched responses must equal this
+    exactly."""
+    parsed = parse_predict_body(json.dumps(query).encode("utf-8"))
+    engine = server.resolver.engine(parsed)
+    kernel = build_kernel(parsed, engine.config)
+    return encode_prediction(engine.run(kernel))

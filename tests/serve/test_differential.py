@@ -1,0 +1,148 @@
+"""Differential test: batched service responses == unbatched oracle.
+
+Property: for *any* valid request mix fired concurrently at the
+service -- random kernels, platforms, sizes, power caps -- every
+response's ``prediction`` object is **value-identical** (exact dict
+equality, which for JSON-round-tripped floats means bit-identical) to
+what a direct, unbatched ``Engine.run`` produces for the same query.
+Coalescing must be invisible to clients.
+
+Hypothesis runs under the repo's derandomized "repro" profile
+(tests/conftest.py), and one server instance serves every example:
+engines are memoised per (platform, theta, power_cap), so the examples
+share the warm resolver exactly like production traffic would.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from hypothesis import given, settings, strategies as st
+
+from repro.serve import PredictServer
+from repro.serve.loadgen import DEFAULT_SIZES
+from repro.serve.protocol import KERNEL_IDS
+
+from .conftest import oracle_prediction, post_predict
+
+#: Platform subset spanning the architectural extremes: a big
+#: discrete GPU, a low-power SoC GPU, and a desktop CPU.
+PLATFORMS = ("gtx-titan", "arndale-gpu", "desktop-cpu")
+
+query_strategy = st.fixed_dictionaries(
+    {
+        "kernel": st.sampled_from(KERNEL_IDS),
+        "platform": st.sampled_from(PLATFORMS),
+        # Size index into the kernel's bounded menu (drawn per-kernel
+        # below so every query stays inside the service's simulated-
+        # duration bound on every platform).
+        "size_index": st.integers(min_value=0, max_value=2),
+        "power_cap": st.one_of(
+            st.none(), st.floats(min_value=2.0, max_value=200.0)
+        ),
+    }
+).map(
+    lambda raw: {
+        "kernel": raw["kernel"],
+        "platform": raw["platform"],
+        "n": DEFAULT_SIZES[raw["kernel"]][raw["size_index"]],
+        **(
+            {"power_cap": raw["power_cap"]}
+            if raw["power_cap"] is not None
+            else {}
+        ),
+    }
+)
+
+
+_SERVER: PredictServer | None = None
+_LOOP: asyncio.AbstractEventLoop | None = None
+
+
+def setup_module() -> None:
+    """One live server for the whole module: hypothesis fires hundreds
+    of example batches and per-example server spin-up would dominate
+    the run (and defeat the warm-resolver realism)."""
+    global _SERVER, _LOOP
+    _LOOP = asyncio.new_event_loop()
+    _SERVER = PredictServer(port=0, max_batch=16, linger_us=1500)
+    _LOOP.run_until_complete(_SERVER.start())
+
+
+def teardown_module() -> None:
+    global _SERVER, _LOOP
+    assert _SERVER is not None and _LOOP is not None
+    _LOOP.run_until_complete(_SERVER.stop())
+    _LOOP.close()
+    _SERVER = None
+    _LOOP = None
+
+
+@settings(max_examples=20, deadline=None)
+@given(mix=st.lists(query_strategy, min_size=1, max_size=10))
+def test_batched_responses_match_unbatched_oracle(mix):
+    server, loop = _SERVER, _LOOP
+    assert server is not None and loop is not None
+
+    async def fire():
+        return await asyncio.gather(
+            *(post_predict(server.port, query) for query in mix)
+        )
+
+    answers = loop.run_until_complete(fire())
+    for query, (status, body) in zip(mix, answers):
+        assert status == 200, body
+        assert body["prediction"] == oracle_prediction(server, query)
+        assert body["request"]["kernel"] == query["kernel"]
+        assert body["request"]["n"] == query["n"]
+        assert body["batch_width"] >= 1
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    query=query_strategy,
+    copies=st.integers(min_value=2, max_value=8),
+)
+def test_identical_concurrent_queries_identical_answers(query, copies):
+    """N copies of one query in one batch window: N identical bodies
+    (same engine, same kernel -- one vectorised group)."""
+    server, loop = _SERVER, _LOOP
+    assert server is not None and loop is not None
+
+    async def fire():
+        return await asyncio.gather(
+            *(post_predict(server.port, query) for _ in range(copies))
+        )
+
+    answers = loop.run_until_complete(fire())
+    predictions = [body["prediction"] for status, body in answers]
+    assert all(status == 200 for status, _ in answers)
+    assert all(p == predictions[0] for p in predictions)
+    assert predictions[0] == oracle_prediction(server, query)
+
+
+def test_power_cap_changes_the_answer():
+    """Sanity anchor for the cap path the property tests exercise: a
+    tight cap must actually throttle (differential equality would also
+    'pass' if caps were silently ignored)."""
+    server, loop = _SERVER, _LOOP
+    assert server is not None and loop is not None
+
+    # Long enough (tens of governor periods) for the control loop to
+    # actually engage; sub-period kernels finish before it can react.
+    query = {"kernel": "matmul", "platform": "gtx-titan", "n": 4096.0}
+
+    async def fire():
+        free = await post_predict(server.port, query)
+        capped = await post_predict(
+            server.port, {**query, "power_cap": 40.0}
+        )
+        return free, capped
+
+    (s1, free), (s2, capped) = loop.run_until_complete(fire())
+    assert s1 == 200 and s2 == 200
+    assert capped["prediction"]["throttled"]
+    assert capped["prediction"]["time_s"] > free["prediction"]["time_s"]
+    assert capped["prediction"]["avg_power_w"] < (
+        free["prediction"]["avg_power_w"]
+    )

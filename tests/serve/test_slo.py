@@ -1,0 +1,135 @@
+"""SLO suite: the service under load, with deflaked latency bounds.
+
+Acceptance criteria (the Issue 8 contract):
+
+* >= 32 concurrent closed-loop clients complete their runs with every
+  response a 200;
+* mean achieved batch width >= 4 (coalescing actually happened, it is
+  not a degenerate one-request-per-batch service);
+* p99 latency within the documented bound;
+* every served prediction is bit-identical to the unbatched
+  ``Engine.run`` oracle.
+
+Deflaking policy (two tiers)
+----------------------------
+Latency assertions are where load tests go to flake: CI machines are
+noisy, oversubscribed and occasionally an order of magnitude slower
+than a dev box.  The *correctness* assertions (status codes, batch
+widths, bit-identity) are deterministic and always strict.  The
+*latency* assertions come in two tiers:
+
+``CI tier`` (default)
+    p99 <= 2.0 s, p50 <= 1.0 s.  Generous by an order of magnitude
+    over observed dev-box numbers (p99 ~ 15 ms): they only fail when
+    the service genuinely stalls (a deadlock, a lost future, an
+    unflushed batch), never from scheduler jitter.
+``strict tier`` (ARCHLINE_SLO_STRICT=1)
+    p99 <= 0.25 s, p50 <= 0.10 s.  For dev boxes and perf triage;
+    env-gated so a slow CI runner cannot flake the default suite.
+
+Wall-clock guidance: the whole module completes in ~2 s on a dev box.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+
+from repro.serve import PredictServer
+from repro.serve.loadgen import (
+    fetch_stats,
+    generate_mix,
+    run_closed_loop,
+    run_open_loop,
+)
+
+from .conftest import oracle_prediction
+
+STRICT = os.environ.get("ARCHLINE_SLO_STRICT") == "1"
+
+#: (p50, p99) latency bounds in seconds for the active tier.
+P50_BOUND, P99_BOUND = (0.10, 0.25) if STRICT else (1.0, 2.0)
+
+N_CLIENTS = 32
+REQUESTS_PER_CLIENT = 6
+MIN_MEAN_WIDTH = 4.0
+
+
+def test_closed_loop_slo():
+    """The acceptance run: 32 closed-loop clients, six requests each,
+    against one server; throughput comes from coalescing."""
+
+    async def main():
+        async with PredictServer(
+            port=0, max_batch=N_CLIENTS, linger_us=3000
+        ) as server:
+            report = await run_closed_loop(
+                "127.0.0.1",
+                server.port,
+                n_clients=N_CLIENTS,
+                requests_per_client=REQUESTS_PER_CLIENT,
+                seed=2014,
+            )
+            stats = await fetch_stats("127.0.0.1", server.port)
+            oracle = {}
+            for query, _ in report.exchanges:
+                key = repr(sorted(query.items()))
+                if key not in oracle:
+                    oracle[key] = oracle_prediction(server, query)
+            return report, stats, oracle
+
+    report, stats, oracle = asyncio.run(main())
+
+    # -- correctness: always strict -------------------------------------
+    total = N_CLIENTS * REQUESTS_PER_CLIENT
+    assert report.n_requests == total
+    assert report.statuses == {200: total}
+    for query, body in report.exchanges:
+        key = repr(sorted(query.items()))
+        assert body["prediction"] == oracle[key], query
+
+    # -- batching: always strict ----------------------------------------
+    batch = stats["batch"]
+    assert batch["batches"] >= 1
+    assert batch["mean_width"] >= MIN_MEAN_WIDTH
+    assert batch["max_width"] <= N_CLIENTS
+    assert batch["batched_requests"] >= total
+    # Coalescing saved engine dispatches: far fewer vectorised calls
+    # than requests.
+    assert batch["engine_batches"] < total
+
+    # -- latency: tiered (see module docstring) -------------------------
+    assert report.p50 <= P50_BOUND, report.describe()
+    assert report.p99 <= P99_BOUND, report.describe()
+
+
+def test_open_loop_smoke():
+    """Open-loop arrivals at a sustainable rate: everything answered,
+    nothing queues unboundedly."""
+
+    async def main():
+        async with PredictServer(
+            port=0, max_batch=16, linger_us=2000
+        ) as server:
+            report = await run_open_loop(
+                "127.0.0.1",
+                server.port,
+                rate_rps=300.0,
+                n_requests=48,
+                seed=11,
+            )
+            return report, server.stats()
+
+    report, stats = asyncio.run(main())
+    assert report.n_requests == 48
+    assert report.statuses == {200: 48}
+    assert stats["batch"]["batched_requests"] == 48
+    assert report.p99 <= P99_BOUND, report.describe()
+
+
+def test_deterministic_mix_is_replayable():
+    """The load the SLO run offers is a function of its seed alone --
+    reruns face the identical workload, a precondition for treating
+    latency drift as signal."""
+    assert generate_mix(64, seed=2014) == generate_mix(64, seed=2014)
+    assert generate_mix(64, seed=2014) != generate_mix(64, seed=2015)

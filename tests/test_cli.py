@@ -84,3 +84,57 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Fit uncertainty" in out
         assert "delta_pi" in out
+
+
+class TestServeParser:
+    """``archline serve`` argument surface (the service itself is
+    load-tested in tests/serve/)."""
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.command == "serve"
+        assert args.host == "127.0.0.1"
+        assert args.port == 8787
+        assert args.max_batch == 32
+        assert args.linger_us == 1000
+        assert args.trace is None
+        assert not args.refresh
+        assert not args.quick_fit
+
+    def test_all_knobs(self):
+        args = build_parser().parse_args(
+            [
+                "serve", "--host", "0.0.0.0", "--port", "0",
+                "--max-batch", "8", "--linger-us", "500",
+                "--max-body-bytes", "1024", "--trace", "t.jsonl",
+                "--cache", "/tmp/c", "--refresh", "--quick-fit",
+                "--seed", "7",
+            ]
+        )
+        assert args.port == 0
+        assert args.max_batch == 8
+        assert args.linger_us == 500
+        assert args.max_body_bytes == 1024
+        assert args.trace == "t.jsonl"
+        assert args.cache_dir == "/tmp/c"
+        assert args.refresh
+        assert args.quick_fit
+        assert args.seed == 7
+
+    def test_cache_flags_mutually_exclusive(self, capsys):
+        assert main(["serve", "--cache", "/tmp/c", "--no-cache"]) == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_refresh_requires_cache(self, capsys, monkeypatch):
+        monkeypatch.delenv("ARCHLINE_CACHE", raising=False)
+        assert main(["serve", "--refresh"]) == 2
+        assert "needs a cache" in capsys.readouterr().err
+
+
+class TestLoadgenCli:
+    def test_port_is_required(self):
+        from repro.serve.loadgen import main as loadgen_main
+
+        with pytest.raises(SystemExit) as err:
+            loadgen_main([])
+        assert err.value.code == 2  # argparse usage error
