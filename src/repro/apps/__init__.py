@@ -12,9 +12,12 @@ from .algorithms import (
 )
 from .analysis import (
     AlgorithmOnMachine,
+    PlatformExclusion,
     best_platform,
     evaluate,
+    exclusion_reason,
     fast_memory_capacity,
+    rank_platforms,
     regime_transition_size,
 )
 
@@ -28,8 +31,11 @@ __all__ = [
     "stencil",
     "stream_triad",
     "AlgorithmOnMachine",
+    "PlatformExclusion",
     "best_platform",
     "evaluate",
+    "exclusion_reason",
     "fast_memory_capacity",
+    "rank_platforms",
     "regime_transition_size",
 ]

@@ -41,6 +41,7 @@ class AlgorithmInstance:
     Z: float  #: fast-memory capacity used by the blocking analysis, bytes.
     flops: float  #: W(n)
     bytes_moved: float  #: Q(n; Z)
+    working_set: float = math.inf  #: problem footprint in bytes (inf = unknown).
 
     @property
     def intensity(self) -> float:
@@ -48,6 +49,11 @@ class AlgorithmInstance:
         if self.bytes_moved == 0:
             return math.inf
         return self.flops / self.bytes_moved
+
+    @property
+    def fits_fast_memory(self) -> bool:
+        """Whether the whole problem is resident in fast memory."""
+        return self.working_set <= self.Z
 
 
 @dataclass(frozen=True)
@@ -63,6 +69,9 @@ class Algorithm:
     traffic: Callable[[float, float], float]  #: Q(n, Z)
     work_unit: str = "flop"
     element_bytes: int = 4  #: operand size the traffic model assumes.
+    #: Problem footprint in bytes as a function of n (None = unknown;
+    #: the instance then reports an infinite working set).
+    footprint: Callable[[float], float] | None = None
 
     def instance(self, n: float, Z: float) -> AlgorithmInstance:
         """Evaluate at problem size ``n`` and fast-memory capacity ``Z``."""
@@ -74,8 +83,9 @@ class Algorithm:
         q = float(self.traffic(n, Z))
         if w < 0 or q < 0:
             raise ValueError(f"{self.name}: negative work/traffic at n={n}")
+        ws = math.inf if self.footprint is None else float(self.footprint(n))
         return AlgorithmInstance(
-            name=self.name, n=n, Z=Z, flops=w, bytes_moved=q
+            name=self.name, n=n, Z=Z, flops=w, bytes_moved=q, working_set=ws
         )
 
     def intensity(self, n: float, Z: float) -> float:
@@ -102,8 +112,15 @@ def matrix_multiply(element_bytes: int = 4) -> Algorithm:
         compulsory = 3.0 * n ** 2
         return (spill + compulsory) * element_bytes
 
+    def footprint(n: float) -> float:
+        return 3.0 * n ** 2 * element_bytes  # A, B and C resident
+
     return Algorithm(
-        name="matmul", work=work, traffic=traffic, element_bytes=element_bytes
+        name="matmul",
+        work=work,
+        traffic=traffic,
+        element_bytes=element_bytes,
+        footprint=footprint,
     )
 
 
@@ -125,8 +142,15 @@ def fft(element_bytes: int = 8) -> Algorithm:
         passes = max(1.0, math.log2(max(n, 2.0)) / math.log2(z_elems))
         return 2.0 * n * passes * element_bytes  # read + write per pass
 
+    def footprint(n: float) -> float:
+        return n * element_bytes  # in-place transform
+
     return Algorithm(
-        name="fft", work=work, traffic=traffic, element_bytes=element_bytes
+        name="fft",
+        work=work,
+        traffic=traffic,
+        element_bytes=element_bytes,
+        footprint=footprint,
     )
 
 
@@ -146,11 +170,15 @@ def stencil(points: int = 7, element_bytes: int = 4) -> Algorithm:
         del Z  # no reuse beyond the streaming window
         return 2.0 * n * element_bytes
 
+    def footprint(n: float) -> float:
+        return 2.0 * n * element_bytes  # input and output grids
+
     return Algorithm(
         name=f"stencil{points}",
         work=work,
         traffic=traffic,
         element_bytes=element_bytes,
+        footprint=footprint,
     )
 
 
@@ -164,8 +192,15 @@ def stream_triad(element_bytes: int = 4) -> Algorithm:
         del Z
         return 3.0 * n * element_bytes
 
+    def footprint(n: float) -> float:
+        return 3.0 * n * element_bytes  # a, b and c streams
+
     return Algorithm(
-        name="triad", work=work, traffic=traffic, element_bytes=element_bytes
+        name="triad",
+        work=work,
+        traffic=traffic,
+        element_bytes=element_bytes,
+        footprint=footprint,
     )
 
 
@@ -192,8 +227,20 @@ def spmv_csr(
         result = n * value_bytes
         return matrix + vector + result
 
+    def footprint(n: float) -> float:
+        nnz = nnz_per_row * n
+        return (
+            nnz * (value_bytes + index_bytes)
+            + n * index_bytes
+            + 2.0 * n * value_bytes
+        )
+
     return Algorithm(
-        name="spmv", work=work, traffic=traffic, element_bytes=value_bytes
+        name="spmv",
+        work=work,
+        traffic=traffic,
+        element_bytes=value_bytes,
+        footprint=footprint,
     )
 
 
@@ -217,10 +264,14 @@ def sort_mergesort(element_bytes: int = 4) -> Algorithm:
         )
         return 2.0 * n * (1.0 + merge_passes) * element_bytes
 
+    def footprint(n: float) -> float:
+        return 2.0 * n * element_bytes  # data plus merge buffer
+
     return Algorithm(
         name="mergesort",
         work=work,
         traffic=traffic,
         work_unit="comparison",
         element_bytes=element_bytes,
+        footprint=footprint,
     )

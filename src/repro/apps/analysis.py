@@ -11,6 +11,16 @@ the platform's largest modelled cache -- the paper's Fig. 2 "fast
 memory" -- so the same algorithm genuinely has different intensities
 on different machines, which is the whole point of carrying Q(n; Z)
 instead of a fixed I.
+
+Platform selection (:func:`best_platform` / :func:`rank_platforms`) is
+*total and deterministic*: platforms that cannot run the instance --
+unsupported precision, a non-finite or non-positive model prediction
+(a pathological fitted theta-hat can produce both), or, when residency
+is demanded, a working set exceeding the platform's fast memory -- are
+excluded with a typed reason instead of winning the argmax with a NaN
+score or crashing it, and ties break on stable platform-id order, not
+dict insertion order.  The fleet optimizer (:mod:`repro.fleet`) builds
+its feasibility matrix on exactly these rules.
 """
 
 from __future__ import annotations
@@ -26,7 +36,10 @@ from .algorithms import Algorithm, AlgorithmInstance
 __all__ = [
     "fast_memory_capacity",
     "AlgorithmOnMachine",
+    "PlatformExclusion",
     "evaluate",
+    "exclusion_reason",
+    "rank_platforms",
     "regime_transition_size",
     "best_platform",
 ]
@@ -64,27 +77,127 @@ class AlgorithmOnMachine:
         return self.instance.flops / self.energy
 
 
+@dataclass(frozen=True)
+class PlatformExclusion:
+    """Why one platform cannot serve one algorithm instance."""
+
+    platform_id: str
+    reason: str
+
+
 def evaluate(
     algorithm: Algorithm,
     n: float,
     config: PlatformConfig,
     *,
     capped: bool = True,
+    precision: str = "single",
 ) -> AlgorithmOnMachine:
     """Predict time/energy/power for ``algorithm`` at size ``n`` on the
-    platform (Z taken from the platform's cache)."""
+    platform (Z taken from the platform's cache).
+
+    Raises ``ValueError`` when the platform lacks the requested
+    precision (several Table I platforms have no double-precision
+    parameters).
+    """
     machine = config.truth
     inst = algorithm.instance(n, fast_memory_capacity(config))
-    t = float(model.time(machine, inst.flops, inst.bytes_moved, capped=capped))
-    e = float(model.energy(machine, inst.flops, inst.bytes_moved, capped=capped))
+    t = float(
+        model.time(
+            machine, inst.flops, inst.bytes_moved,
+            capped=capped, precision=precision,
+        )
+    )
+    e = float(
+        model.energy(
+            machine, inst.flops, inst.bytes_moved,
+            capped=capped, precision=precision,
+        )
+    )
     return AlgorithmOnMachine(
         instance=inst,
         machine=machine,
         time=t,
         energy=e,
-        power=e / t,
-        regime=model.regime(machine, inst.intensity, capped=capped),
+        power=e / t if t > 0 else math.inf,
+        regime=model.regime(
+            machine, inst.intensity, capped=capped, precision=precision
+        ),
     )
+
+
+def exclusion_reason(
+    result: AlgorithmOnMachine,
+    config: PlatformConfig,
+    *,
+    require_resident: bool = False,
+) -> str | None:
+    """Why this evaluation disqualifies its platform (None = feasible).
+
+    * non-finite or non-positive predicted time or energy -- a
+      pathological parameter vector (NaN/inf theta-hat from a failed
+      fit, a zero tau) must not win a score comparison by accident;
+    * with ``require_resident``, a working set exceeding the platform's
+      fast memory (scratchpad-style residency demand).
+    """
+    if not math.isfinite(result.time) or result.time <= 0:
+        return f"non-finite or non-positive predicted time ({result.time!r})"
+    if not math.isfinite(result.energy) or result.energy <= 0:
+        return (
+            f"non-finite or non-positive predicted energy "
+            f"({result.energy!r})"
+        )
+    if require_resident and not result.instance.fits_fast_memory:
+        return (
+            f"working set {result.instance.working_set:.3g} B exceeds "
+            f"fast memory {fast_memory_capacity(config):.3g} B"
+        )
+    return None
+
+
+def rank_platforms(
+    algorithm: Algorithm,
+    n: float,
+    configs: dict[str, PlatformConfig],
+    *,
+    objective: str = "work_per_joule",
+    capped: bool = True,
+    precision: str = "single",
+    require_resident: bool = False,
+) -> tuple[
+    list[tuple[str, AlgorithmOnMachine]], list[PlatformExclusion]
+]:
+    """All feasible platforms, best first, plus the excluded ones.
+
+    The ranking is deterministic regardless of ``configs`` insertion
+    order: platforms are evaluated in sorted platform-id order and ties
+    on the objective keep that order (stable sort on the negated
+    score).  Infeasible platforms (see :func:`exclusion_reason`, plus
+    unsupported precision) are returned separately with their reasons.
+    """
+    if objective not in ("work_per_joule", "throughput"):
+        raise ValueError(f"unknown objective {objective!r}")
+    ranked: list[tuple[str, AlgorithmOnMachine]] = []
+    excluded: list[PlatformExclusion] = []
+    for pid in sorted(configs):
+        config = configs[pid]
+        try:
+            result = evaluate(
+                algorithm, n, config, capped=capped, precision=precision
+            )
+        except ValueError as err:
+            excluded.append(PlatformExclusion(pid, str(err)))
+            continue
+        reason = exclusion_reason(
+            result, config, require_resident=require_resident
+        )
+        if reason is not None:
+            excluded.append(PlatformExclusion(pid, reason))
+            continue
+        ranked.append((pid, result))
+    # Stable sort: equal scores keep sorted platform-id order.
+    ranked.sort(key=lambda item: -getattr(item[1], objective))
+    return ranked, excluded
 
 
 def regime_transition_size(
@@ -133,16 +246,34 @@ def best_platform(
     configs: dict[str, PlatformConfig],
     *,
     objective: str = "work_per_joule",
+    capped: bool = True,
+    precision: str = "single",
+    require_resident: bool = False,
 ) -> tuple[str, AlgorithmOnMachine]:
     """The platform maximising throughput or work/Joule for the
-    algorithm at size ``n``."""
-    if objective not in ("work_per_joule", "throughput"):
-        raise ValueError(f"unknown objective {objective!r}")
-    best: tuple[str, AlgorithmOnMachine] | None = None
-    for pid, config in configs.items():
-        result = evaluate(algorithm, n, config)
-        score = getattr(result, objective)
-        if best is None or score > getattr(best[1], objective):
-            best = (pid, result)
-    assert best is not None
-    return best
+    algorithm at size ``n``.
+
+    Deterministic: ties break on platform-id order, never on dict
+    insertion order.  Infeasible platforms (NaN/inf predictions,
+    unsupported precision, residency violations) are excluded rather
+    than allowed to win or poison the comparison; if *no* platform is
+    feasible, raises ``ValueError`` naming each exclusion reason.
+    """
+    ranked, excluded = rank_platforms(
+        algorithm,
+        n,
+        configs,
+        objective=objective,
+        capped=capped,
+        precision=precision,
+        require_resident=require_resident,
+    )
+    if not ranked:
+        reasons = "; ".join(
+            f"{exc.platform_id}: {exc.reason}" for exc in excluded
+        )
+        raise ValueError(
+            f"no feasible platform for {algorithm.name} at n={n:g} "
+            f"({reasons or 'empty platform set'})"
+        )
+    return ranked[0]

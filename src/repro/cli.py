@@ -51,6 +51,14 @@ Commands
     telemetry spans on shutdown.  ``--cache DIR`` (or
     ``$ARCHLINE_CACHE``) backs ``"theta": "fitted"`` queries with the
     content-addressed campaign store.
+``archline fleet --workload SPEC.json [--power-budget W] [...]``
+    Solve the fleet/procurement problem (docs/FLEET.md): given a
+    workload histogram, a rack power budget and per-node prices, pick
+    the integer platform mix minimising energy-to-solution or cost.
+    ``--theta fitted`` prices the mix with campaign-fitted theta-hat
+    (through the campaign store when ``--cache``/``$ARCHLINE_CACHE``
+    is set); ``--json out.json`` writes the bit-deterministic machine
+    report.
 ``archline lint [PATH ...]``
     Run the repo's AST-based static-analysis rules (determinism,
     pool picklability, fault-exception hygiene, float equality, unit
@@ -74,6 +82,7 @@ Commands
 from __future__ import annotations
 
 import argparse
+import math
 import sys
 from typing import Sequence
 
@@ -83,14 +92,61 @@ from .experiments.registry import EXPERIMENTS, run_all, run_experiment
 from .machine.platforms import PLATFORM_IDS, all_platforms, platform
 from .report.tables import Table, fmt_num, fmt_pct, fmt_si
 
-__all__ = ["main", "build_parser"]
+__all__ = [
+    "main",
+    "build_parser",
+    "nonnegative_float",
+    "positive_float",
+    "positive_int",
+]
 
 
-def _positive_int(text: str) -> int:
-    value = int(text)
+def positive_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"must be an integer, got {text!r}"
+        ) from None
     if value < 1:
         raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
     return value
+
+
+def _finite_float(text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"must be a number, got {text!r}"
+        ) from None
+    # A bare ``type=float`` happily accepts "nan" and "inf", which then
+    # poison downstream comparisons (a NaN timeout never fires, a NaN
+    # budget is "within" every check).  All numeric CLI flags go
+    # through these validators instead.
+    if not math.isfinite(value):
+        raise argparse.ArgumentTypeError(
+            f"must be a finite number, got {text!r}"
+        )
+    return value
+
+
+def positive_float(text: str) -> float:
+    value = _finite_float(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be > 0, got {text!r}")
+    return value
+
+
+def nonnegative_float(text: str) -> float:
+    value = _finite_float(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {text!r}")
+    return value
+
+
+# Backwards-compatible private alias (pre-fleet name).
+_positive_int = positive_int
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -215,7 +271,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     camp_p.add_argument(
         "--shard-timeout",
-        type=float,
+        type=positive_float,
         default=None,
         metavar="S",
         help="wall-clock deadline in seconds for the whole campaign; "
@@ -267,6 +323,10 @@ def build_parser() -> argparse.ArgumentParser:
     from .serve.cli import build_serve_parser
 
     build_serve_parser(sub)
+
+    from .fleet.cli import build_fleet_parser
+
+    build_fleet_parser(sub)
 
     sub.add_parser(
         "audit", help="internal-consistency audit of the paper's own numbers"
@@ -729,6 +789,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         from .serve.cli import run_serve
 
         return run_serve(args)
+    if args.command == "fleet":
+        from .fleet.cli import run_fleet
+
+        return run_fleet(args)
     if args.command == "lint":
         from .lint.cli import run_lint
 

@@ -21,7 +21,8 @@ Two execution paths produce the fits:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -30,8 +31,18 @@ from ..machine.platforms import PLATFORM_IDS, platform
 from ..microbench.campaign import CampaignRunner
 from ..microbench.intensity import balanced_intensities
 from ..microbench.suite import FittedPlatform, fit_campaign, run_campaign
+from ..telemetry.recorder import NULL_RECORDER, TraceRecorder
 
-__all__ = ["CampaignSettings", "run_all_fits", "run_platform_fit"]
+if TYPE_CHECKING:
+    from ..machine.config import PlatformConfig
+    from ..store.store import CampaignStore
+
+__all__ = [
+    "CampaignSettings",
+    "fitted_platform_config",
+    "run_all_fits",
+    "run_platform_fit",
+]
 
 
 @dataclass(frozen=True)
@@ -88,6 +99,53 @@ def run_platform_fit(
     )
     rng = np.random.default_rng(settings.seed + 1)
     return fit_campaign(campaign, rng=rng)
+
+
+def fitted_platform_config(
+    platform_id: str,
+    settings: CampaignSettings | None = None,
+    *,
+    store: "CampaignStore | None" = None,
+    refresh: bool = False,
+    recorder: TraceRecorder = NULL_RECORDER,
+) -> "PlatformConfig":
+    """The platform with its truth replaced by campaign-fitted theta-hat.
+
+    This is the one shared "theta": "fitted" resolution path: the
+    predict service (:mod:`repro.serve.theta`) and the fleet optimizer
+    (:mod:`repro.fleet`) both call it, so a campaign store warmed by
+    any of them (or by ``archline campaign --cache``) replays the same
+    campaign and fit entries bit-identically for all of them.  The fit
+    rng derivation matches :func:`run_platform_fit` exactly for the
+    same reason.
+    """
+    settings = settings or CampaignSettings()
+    base = platform(platform_id)
+    campaign = run_campaign(
+        base,
+        seed=settings.seed,
+        replicates=settings.replicates,
+        intensities=balanced_intensities(
+            base, points_per_octave=settings.points_per_octave
+        ),
+        target_duration=settings.target_duration,
+        include_double=settings.include_double,
+        include_cache=settings.include_cache,
+        include_chase=settings.include_chase,
+        faults=settings.faults,
+        max_retries=settings.max_retries,
+        recorder=recorder,
+        store=store,
+        cache_refresh=refresh,
+    )
+    fit = fit_campaign(
+        campaign,
+        rng=np.random.default_rng(settings.seed + 1),
+        recorder=recorder,
+        store=store,
+        cache_refresh=refresh,
+    )
+    return replace(base, truth=fit.fitted_params)
 
 
 def run_all_fits(

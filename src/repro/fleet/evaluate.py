@@ -1,0 +1,219 @@
+"""The fleet feasibility/cost matrix: every bin on every platform.
+
+For each (workload bin, platform) pair this evaluates the capped
+energy-roofline model once and records what the optimizer needs:
+
+``time``/``energy``
+    Per-job predictions, straight from :func:`repro.apps.analysis.
+    evaluate` (algorithm bins) or :func:`repro.core.model` (raw
+    ``(W, Q)`` bins).
+``node_power``
+    The *governor-consistent* draw of a node running this bin flat
+    out.  Under the capped model ``E/T = pi1 + min(E_dyn/T_nom,
+    delta_pi)`` exactly -- the same cap :func:`repro.machine.governor.
+    run_governor` enforces -- so rack power sums this, never the
+    nominal (uncapped) draw, which can exceed ``pi1 + delta_pi`` and
+    would over-commit the budget (see tests/fleet/test_power.py).
+``uncapped_node_power``
+    The nominal draw, reported so the over-commitment is visible.
+``jobs_per_node``
+    ``a_ij = horizon / time``: jobs one node finishes in the planning
+    window.
+
+Pairs that cannot run -- unsupported precision, non-finite
+predictions from a pathological theta-hat, residency violations --
+become typed :class:`FleetExclusion` rows instead of poisoning the
+solve, using exactly the :func:`repro.apps.analysis.exclusion_reason`
+rules.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..apps.analysis import evaluate as evaluate_app
+from ..apps.analysis import exclusion_reason
+from ..core import model
+from ..machine.config import PlatformConfig
+from ..telemetry.recorder import NULL_RECORDER, TraceRecorder
+from .workload import WorkloadBin, WorkloadSpec, algorithm_by_name
+
+__all__ = [
+    "BinOnPlatform",
+    "EvaluationMatrix",
+    "FleetExclusion",
+    "evaluate_fleet",
+]
+
+
+@dataclass(frozen=True)
+class BinOnPlatform:
+    """One feasible (bin, platform) pairing with its model numbers."""
+
+    bin_label: str
+    platform_id: str
+    time: float  #: s per job.
+    energy: float  #: J per job.
+    node_power: float  #: W, capped (governor-consistent) draw.
+    uncapped_node_power: float  #: W, nominal draw (may exceed the cap).
+    jobs_per_node: float  #: jobs one node completes over the horizon.
+
+
+@dataclass(frozen=True)
+class FleetExclusion:
+    """Why one platform cannot serve one bin."""
+
+    bin_label: str
+    platform_id: str
+    reason: str
+
+
+@dataclass(frozen=True)
+class EvaluationMatrix:
+    """All feasible pairings plus exclusions, in deterministic order.
+
+    ``entries`` is ordered (bin, platform) by ``bin_labels`` then
+    ``platform_ids``; both axis tuples are sorted-stable inputs the
+    solver indexes by position.
+    """
+
+    bin_labels: tuple[str, ...]
+    platform_ids: tuple[str, ...]
+    entries: tuple[BinOnPlatform, ...]
+    exclusions: tuple[FleetExclusion, ...]
+    horizon: float
+
+    def entry(self, bin_label: str, platform_id: str) -> BinOnPlatform | None:
+        for e in self.entries:
+            if e.bin_label == bin_label and e.platform_id == platform_id:
+                return e
+        return None
+
+    def feasible_platforms(self, bin_label: str) -> tuple[str, ...]:
+        return tuple(
+            e.platform_id for e in self.entries if e.bin_label == bin_label
+        )
+
+
+def _evaluate_raw(
+    machine, flops: float, bytes_moved: float, precision: str
+) -> tuple[float, float, float]:
+    """(time, energy, uncapped power) of a raw (W, Q) job."""
+    t = float(
+        model.time(machine, flops, bytes_moved, capped=True, precision=precision)
+    )
+    e = float(
+        model.energy(
+            machine, flops, bytes_moved, capped=True, precision=precision
+        )
+    )
+    t0 = float(
+        model.time(machine, flops, bytes_moved, capped=False, precision=precision)
+    )
+    e0 = float(
+        model.energy(
+            machine, flops, bytes_moved, capped=False, precision=precision
+        )
+    )
+    uncapped = e0 / t0 if t0 > 0 else math.inf
+    return t, e, uncapped
+
+
+def _evaluate_pair(
+    bin_: WorkloadBin,
+    platform_id: str,
+    config: PlatformConfig,
+    horizon: float,
+) -> BinOnPlatform | str:
+    """A matrix entry, or the exclusion reason string."""
+    if bin_.is_raw:
+        try:
+            t, e, uncapped = _evaluate_raw(
+                config.truth, bin_.flops, bin_.bytes_moved, bin_.precision
+            )
+        except ValueError as err:
+            return str(err)
+        if not math.isfinite(t) or t <= 0:
+            return f"non-finite or non-positive predicted time ({t!r})"
+        if not math.isfinite(e) or e <= 0:
+            return f"non-finite or non-positive predicted energy ({e!r})"
+        power = e / t
+    else:
+        algorithm = algorithm_by_name(bin_.algorithm)
+        try:
+            result = evaluate_app(
+                algorithm,
+                bin_.n,
+                config,
+                capped=True,
+                precision=bin_.precision,
+            )
+        except ValueError as err:
+            return str(err)
+        reason = exclusion_reason(
+            result, config, require_resident=bin_.resident
+        )
+        if reason is not None:
+            return reason
+        t, e, power = result.time, result.energy, result.power
+        uncapped = evaluate_app(
+            algorithm, bin_.n, config, capped=False, precision=bin_.precision
+        ).power
+    # Defensive: the capped model guarantees this, and the solver's
+    # rack-power accounting is only sound if it holds.
+    cap = config.max_model_power
+    if power > cap * (1 + 1e-9):
+        return (
+            f"capped draw {power:.6g} W exceeds pi1+delta_pi "
+            f"{cap:.6g} W (inconsistent parameters)"
+        )
+    return BinOnPlatform(
+        bin_label=bin_.label,
+        platform_id=platform_id,
+        time=t,
+        energy=e,
+        node_power=power,
+        uncapped_node_power=uncapped,
+        jobs_per_node=horizon / t,
+    )
+
+
+def evaluate_fleet(
+    workload: WorkloadSpec,
+    configs: dict[str, PlatformConfig],
+    *,
+    recorder: TraceRecorder = NULL_RECORDER,
+) -> EvaluationMatrix:
+    """Evaluate every bin on every platform (deterministic order).
+
+    Platforms are walked in sorted-id order regardless of ``configs``
+    insertion order, mirroring :func:`repro.apps.analysis.
+    rank_platforms`.
+    """
+    if not configs:
+        raise ValueError("evaluate_fleet needs at least one platform")
+    platform_ids = tuple(sorted(configs))
+    with recorder.span(
+        "fleet_evaluate",
+        bins=len(workload.bins),
+        platforms=len(platform_ids),
+    ):
+        entries: list[BinOnPlatform] = []
+        exclusions: list[FleetExclusion] = []
+        for bin_ in workload.bins:
+            for pid in platform_ids:
+                out = _evaluate_pair(
+                    bin_, pid, configs[pid], workload.horizon
+                )
+                if isinstance(out, str):
+                    exclusions.append(FleetExclusion(bin_.label, pid, out))
+                else:
+                    entries.append(out)
+    return EvaluationMatrix(
+        bin_labels=workload.labels,
+        platform_ids=platform_ids,
+        entries=tuple(entries),
+        exclusions=tuple(exclusions),
+        horizon=workload.horizon,
+    )

@@ -1,0 +1,189 @@
+"""A small, deterministic two-phase simplex solver.
+
+The fleet optimizer's LP relaxations are tiny (tens of variables, a
+handful of rows) and must be bit-reproducible, so rather than pull in
+an external LP dependency this implements the dense full-tableau
+two-phase simplex method with **Bland's rule** for both the entering
+and leaving variable -- the smallest-index pivot rule, which makes
+every pivot sequence deterministic and provably cycle-free (Bland
+1977).  Speed is a non-goal; determinism and zero dependencies are
+the goals.
+
+Problem form::
+
+    minimize    c . x
+    subject to  A_ub x <= b_ub
+                A_ge x >= b_ge
+                x >= 0
+
+Upper bounds on individual variables are expressed as ``A_ub`` rows by
+the caller.  Returns an :class:`LPResult` with status ``"optimal"``,
+``"infeasible"`` or ``"unbounded"``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["LPResult", "solve_lp"]
+
+_TOL = 1e-9
+_MAX_PIVOTS = 20_000
+
+
+@dataclass(frozen=True)
+class LPResult:
+    """A solved (or diagnosed) linear program."""
+
+    status: str  #: "optimal" | "infeasible" | "unbounded"
+    objective: float
+    x: tuple[float, ...]
+
+    @property
+    def optimal(self) -> bool:
+        return self.status == "optimal"
+
+
+def _pivot(
+    tab: np.ndarray, z: np.ndarray, basis: list[int], row: int, col: int
+) -> None:
+    tab[row] /= tab[row, col]
+    for i in range(tab.shape[0]):
+        if i != row and tab[i, col] != 0.0:
+            tab[i] -= tab[i, col] * tab[row]
+    if z[col] != 0.0:
+        z -= z[col] * tab[row]
+    basis[row] = col
+
+
+def _run_simplex(
+    tab: np.ndarray,
+    z: np.ndarray,
+    basis: list[int],
+    allowed: int,
+) -> str:
+    """Minimize in place; columns >= ``allowed`` may not enter.
+
+    Bland's rule throughout: the entering column is the smallest index
+    with a negative reduced cost, the leaving row is the ratio-test
+    winner with the smallest basis index on ties.
+    """
+    m = tab.shape[0]
+    for _ in range(_MAX_PIVOTS):
+        col = -1
+        for j in range(allowed):
+            if z[j] < -_TOL:
+                col = j
+                break
+        if col < 0:
+            return "optimal"
+        row, best_ratio, best_basis = -1, np.inf, -1
+        for i in range(m):
+            a = tab[i, col]
+            if a > _TOL:
+                ratio = tab[i, -1] / a
+                if ratio < best_ratio - _TOL or (
+                    ratio < best_ratio + _TOL
+                    and (row < 0 or basis[i] < best_basis)
+                ):
+                    row, best_ratio, best_basis = i, ratio, basis[i]
+        if row < 0:
+            return "unbounded"
+        _pivot(tab, z, basis, row, col)
+    raise RuntimeError("simplex exceeded its pivot budget")
+
+
+def solve_lp(
+    cost,
+    a_ub=(),
+    b_ub=(),
+    a_ge=(),
+    b_ge=(),
+) -> LPResult:
+    """Minimize ``cost . x`` over ``A_ub x <= b_ub``, ``A_ge x >= b_ge``,
+    ``x >= 0``."""
+    c = np.asarray(cost, dtype=float)
+    n = c.size
+    if n == 0:
+        raise ValueError("LP needs at least one variable")
+    rows: list[np.ndarray] = []
+    rhs: list[float] = []
+    senses: list[int] = []  # +1 for <=, -1 for >=
+    for a, b, sense in ((a_ub, b_ub, 1), (a_ge, b_ge, -1)):
+        a = np.asarray(a, dtype=float).reshape(-1, n) if len(a) else np.empty((0, n))
+        b = np.asarray(b, dtype=float).reshape(-1)
+        if a.shape[0] != b.size:
+            raise ValueError("constraint matrix/vector shape mismatch")
+        for i in range(a.shape[0]):
+            rows.append(a[i].copy())
+            rhs.append(float(b[i]))
+            senses.append(sense)
+    m = len(rows)
+    if m == 0:
+        # Unconstrained besides x >= 0: minimum is at x = 0 unless some
+        # cost is negative (then unbounded).
+        if np.any(c < -_TOL):
+            return LPResult("unbounded", -np.inf, tuple(0.0 for _ in range(n)))
+        return LPResult("optimal", 0.0, tuple(0.0 for _ in range(n)))
+
+    # Normalise to b >= 0 (flip the row and its sense).
+    for i in range(m):
+        if rhs[i] < 0:
+            rows[i] = -rows[i]
+            rhs[i] = -rhs[i]
+            senses[i] = -senses[i]
+
+    n_slack = m  # one slack or surplus per row
+    n_art = sum(1 for s in senses if s < 0)  # artificials for >= rows
+    total = n + n_slack + n_art
+    tab = np.zeros((m, total + 1))
+    basis: list[int] = []
+    art_col = n + n_slack
+    for i in range(m):
+        tab[i, :n] = rows[i]
+        tab[i, -1] = rhs[i]
+        if senses[i] > 0:
+            tab[i, n + i] = 1.0  # slack, enters the basis
+            basis.append(n + i)
+        else:
+            tab[i, n + i] = -1.0  # surplus
+            tab[i, art_col] = 1.0  # artificial, enters the basis
+            basis.append(art_col)
+            art_col += 1
+
+    # Phase 1: minimise the sum of artificials.
+    z1 = np.zeros(total + 1)
+    z1[n + n_slack : total] = 1.0
+    for i, bi in enumerate(basis):
+        if bi >= n + n_slack:
+            z1 -= tab[i]
+    status = _run_simplex(tab, z1, basis, allowed=total)
+    if status != "optimal" or -z1[-1] > 1e-7 * max(1.0, max(rhs)):
+        return LPResult("infeasible", np.inf, tuple(0.0 for _ in range(n)))
+    # Drive any degenerate artificials out of the basis.
+    for i in range(m):
+        if basis[i] >= n + n_slack:
+            for j in range(n + n_slack):
+                if abs(tab[i, j]) > _TOL:
+                    _pivot(tab, z1, basis, i, j)
+                    break
+            # An all-zero row is redundant; its artificial stays basic
+            # at zero and phase 2 simply never pivots on it.
+
+    # Phase 2: the real objective, artificial columns barred.
+    z2 = np.zeros(total + 1)
+    z2[:n] = c
+    for i, bi in enumerate(basis):
+        if z2[bi] != 0.0:
+            z2 -= z2[bi] * tab[i]
+    status = _run_simplex(tab, z2, basis, allowed=n + n_slack)
+    if status == "unbounded":
+        return LPResult("unbounded", -np.inf, tuple(0.0 for _ in range(n)))
+    x = np.zeros(n)
+    for i, bi in enumerate(basis):
+        if bi < n:
+            x[bi] = tab[i, -1]
+    x = np.where(np.abs(x) < _TOL, 0.0, x)
+    return LPResult("optimal", float(c @ x), tuple(float(v) for v in x))

@@ -1,0 +1,594 @@
+"""Fleet mix solvers: exact enumeration and LP-relaxation + greedy.
+
+The procurement problem is the integer program
+
+    minimize    sum_ij w_ij x_ij
+    subject to  sum_i a_ij x_ij >= d_j      (cover each bin's demand)
+                sum_ij p_ij x_ij <= P       (rack power budget)
+                sum_ij c_i  x_ij <= C       (procurement cost budget)
+                sum_j  x_ij <= m_i          (vendor supply per platform)
+                x_ij in {0, 1, 2, ...}
+
+where ``x_ij`` is the number of platform-``i`` nodes dedicated to bin
+``j`` for the whole planning horizon ``H``; ``a_ij = H / t_ij`` is the
+jobs one such node completes, ``p_ij`` the *capped* (governor-
+consistent) node draw, and the objective weight is ``w_ij = H p_ij``
+(energy-to-solution, since a dedicated node draws ``p_ij`` for the
+whole horizon) or ``w_ij = c_i`` (procurement cost).  Dedicating
+purchased nodes to one bin for the horizon is a deliberate
+procurement-level simplification: it is a *conservative* bound -- a
+real scheduler interleaving bins on shared nodes can only do better --
+and it is what keeps the program linear.
+
+Two solvers, intentionally independent implementations:
+
+:func:`solve_exact`
+    Depth-first enumeration of per-bin *irreducible covers* (no node
+    can be removed without breaking coverage -- some optimal solution
+    always is one, since weights and draws are non-negative), with
+    budget and objective-bound pruning.  No LP involved; this is the
+    test oracle.
+:func:`solve`
+    The scalable path: LP relaxation (:mod:`repro.fleet.simplex`),
+    floor-rounding, greedy deficit fill, surplus trim, then a
+    state-capped run of the exact search seeded with the greedy
+    incumbent.  On small instances the capped search completes and the
+    answer is provably optimal (the differential tests assert it
+    matches the oracle); on large ones it returns the best incumbent
+    plus the LP lower bound, so the optimality gap is always
+    reported.
+
+Everything is deterministic: platforms and bins are walked in the
+instance's stored (sorted) order, ties keep the first solution found,
+and the LP pivots by Bland's rule.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..telemetry.recorder import NULL_RECORDER, TraceRecorder
+from .evaluate import EvaluationMatrix
+from .offers import PlatformOffer
+from .simplex import solve_lp
+from .workload import WorkloadSpec
+
+__all__ = [
+    "FleetAllocation",
+    "FleetInstance",
+    "FleetSolution",
+    "allocations",
+    "solve",
+    "solve_exact",
+]
+
+_REL_TOL = 1e-9
+
+
+@dataclass(frozen=True)
+class FleetInstance:
+    """One procurement problem, flattened to aligned primitive tuples.
+
+    The pair axis holds one entry per *feasible* (bin, platform)
+    pairing, ordered by bin then platform id -- the order every solver
+    walks, which is what makes tie-breaking deterministic.
+    """
+
+    bin_labels: tuple[str, ...]
+    platform_ids: tuple[str, ...]
+    demands: tuple[float, ...]  #: jobs required per bin.
+    horizon: float  #: planning window, s.
+    pair_bin: tuple[int, ...]  #: bin index of each pair.
+    pair_platform: tuple[int, ...]  #: platform index of each pair.
+    pair_rate: tuple[float, ...]  #: a_ij, jobs per node per horizon.
+    pair_power: tuple[float, ...]  #: p_ij, capped node draw (W).
+    unit_costs: tuple[float, ...]  #: c_i per platform.
+    max_nodes: tuple[float, ...]  #: m_i per platform (inf = unlimited).
+    power_budget: float = math.inf  #: P (W).
+    cost_budget: float = math.inf  #: C.
+    objective: str = "energy"  #: "energy" | "cost"
+
+    def __post_init__(self) -> None:
+        if self.objective not in ("energy", "cost"):
+            raise ValueError(
+                f"objective must be 'energy' or 'cost', "
+                f"got {self.objective!r}"
+            )
+        n = len(self.pair_bin)
+        if not (
+            len(self.pair_platform)
+            == len(self.pair_rate)
+            == len(self.pair_power)
+            == n
+        ):
+            raise ValueError("pair arrays must be aligned")
+        if len(self.demands) != len(self.bin_labels):
+            raise ValueError("one demand per bin required")
+        if len(self.unit_costs) != len(self.platform_ids) or len(
+            self.max_nodes
+        ) != len(self.platform_ids):
+            raise ValueError("one cost and supply cap per platform required")
+        for budget in (self.power_budget, self.cost_budget):
+            if math.isnan(budget) or budget <= 0:
+                raise ValueError(
+                    f"budgets must be positive (inf = none), got {budget!r}"
+                )
+        for rate in self.pair_rate:
+            if not math.isfinite(rate) or rate <= 0:
+                raise ValueError(f"pair rates must be finite positive, got {rate!r}")
+
+    @classmethod
+    def from_matrix(
+        cls,
+        matrix: EvaluationMatrix,
+        workload: WorkloadSpec,
+        offers: dict[str, PlatformOffer],
+        *,
+        power_budget: float = math.inf,
+        cost_budget: float = math.inf,
+        objective: str = "energy",
+    ) -> "FleetInstance":
+        missing = [p for p in matrix.platform_ids if p not in offers]
+        if missing:
+            raise ValueError(
+                f"no offer (unit cost) for platform(s): {', '.join(missing)}"
+            )
+        if matrix.bin_labels != workload.labels:
+            raise ValueError("matrix and workload bins disagree")
+        bin_index = {lab: j for j, lab in enumerate(matrix.bin_labels)}
+        plat_index = {pid: i for i, pid in enumerate(matrix.platform_ids)}
+        # entries are already ordered bin-major, platform-id minor.
+        pair_bin, pair_platform, pair_rate, pair_power = [], [], [], []
+        for e in matrix.entries:
+            pair_bin.append(bin_index[e.bin_label])
+            pair_platform.append(plat_index[e.platform_id])
+            pair_rate.append(e.jobs_per_node)
+            pair_power.append(e.node_power)
+        return cls(
+            bin_labels=matrix.bin_labels,
+            platform_ids=matrix.platform_ids,
+            demands=tuple(b.jobs for b in workload.bins),
+            horizon=matrix.horizon,
+            pair_bin=tuple(pair_bin),
+            pair_platform=tuple(pair_platform),
+            pair_rate=tuple(pair_rate),
+            pair_power=tuple(pair_power),
+            unit_costs=tuple(
+                offers[p].unit_cost for p in matrix.platform_ids
+            ),
+            max_nodes=tuple(
+                float(offers[p].max_nodes) for p in matrix.platform_ids
+            ),
+            power_budget=power_budget,
+            cost_budget=cost_budget,
+            objective=objective,
+        )
+
+    def pair_weights(self) -> tuple[float, ...]:
+        """The objective coefficient of one node on each pair."""
+        if self.objective == "energy":
+            return tuple(self.horizon * p for p in self.pair_power)
+        return tuple(self.unit_costs[i] for i in self.pair_platform)
+
+    def pair_costs(self) -> tuple[float, ...]:
+        return tuple(self.unit_costs[i] for i in self.pair_platform)
+
+    def bin_pairs(self) -> tuple[tuple[int, ...], ...]:
+        """Pair indices grouped by bin, in pair order."""
+        groups: list[list[int]] = [[] for _ in self.bin_labels]
+        for k, j in enumerate(self.pair_bin):
+            groups[j].append(k)
+        return tuple(tuple(g) for g in groups)
+
+
+@dataclass(frozen=True)
+class FleetAllocation:
+    """One line of a solution: nodes of one platform on one bin."""
+
+    bin_label: str
+    platform_id: str
+    nodes: int
+    jobs: float  #: jobs completed over the horizon (a_ij * nodes).
+    power: float  #: W drawn by these nodes.
+    energy: float  #: J over the horizon.
+    cost: float
+
+
+@dataclass(frozen=True)
+class FleetSolution:
+    """A solved (or diagnosed) procurement problem."""
+
+    status: str  #: "optimal" | "feasible" | "infeasible" | "unknown"
+    method: str  #: "exact" | "lp_greedy"
+    objective: str
+    nodes: tuple[int, ...]  #: per instance pair.
+    objective_value: float
+    energy: float  #: J over the horizon.
+    power: float  #: W total rack draw.
+    cost: float
+    total_nodes: int
+    lp_bound: float  #: LP relaxation lower bound (nan if not computed).
+    states_explored: int
+
+    @property
+    def solved(self) -> bool:
+        return self.status in ("optimal", "feasible")
+
+
+def allocations(
+    instance: FleetInstance, solution: FleetSolution
+) -> tuple[FleetAllocation, ...]:
+    """The solution's non-zero lines, in pair order."""
+    out = []
+    for k, x in enumerate(solution.nodes):
+        if x <= 0:
+            continue
+        i = instance.pair_platform[k]
+        power = instance.pair_power[k] * x
+        out.append(
+            FleetAllocation(
+                bin_label=instance.bin_labels[instance.pair_bin[k]],
+                platform_id=instance.platform_ids[i],
+                nodes=x,
+                jobs=instance.pair_rate[k] * x,
+                power=power,
+                energy=power * instance.horizon,
+                cost=instance.unit_costs[i] * x,
+            )
+        )
+    return tuple(out)
+
+
+def _totals(
+    instance: FleetInstance, nodes: tuple[int, ...] | list[int]
+) -> tuple[float, float, float, int]:
+    """(energy, power, cost, total_nodes) of a node vector."""
+    power = sum(
+        p * x for p, x in zip(instance.pair_power, nodes)
+    )
+    cost = sum(
+        instance.unit_costs[instance.pair_platform[k]] * x
+        for k, x in enumerate(nodes)
+    )
+    return power * instance.horizon, power, cost, int(sum(nodes))
+
+
+def _solution(
+    instance: FleetInstance,
+    status: str,
+    method: str,
+    nodes: tuple[int, ...],
+    *,
+    lp_bound: float = math.nan,
+    states: int = 0,
+) -> FleetSolution:
+    energy, power, cost, total = _totals(instance, nodes)
+    weights = instance.pair_weights()
+    objective_value = sum(w * x for w, x in zip(weights, nodes))
+    if status == "infeasible" or status == "unknown":
+        objective_value = math.inf
+    return FleetSolution(
+        status=status,
+        method=method,
+        objective=instance.objective,
+        nodes=nodes,
+        objective_value=objective_value,
+        energy=energy,
+        power=power,
+        cost=cost,
+        total_nodes=total,
+        lp_bound=lp_bound,
+        states_explored=states,
+    )
+
+
+def _ceil_div(demand: float, rate: float) -> int:
+    """Nodes needed to cover ``demand`` at ``rate`` jobs/node."""
+    return max(0, math.ceil(demand / rate - 1e-12))
+
+
+class _ExactSearch:
+    """DFS over per-bin irreducible covers with budget/bound pruning."""
+
+    def __init__(
+        self,
+        instance: FleetInstance,
+        state_limit: int,
+        incumbent: tuple[int, ...] | None,
+    ) -> None:
+        self.inst = instance
+        self.weights = instance.pair_weights()
+        self.groups = instance.bin_pairs()
+        self.state_limit = state_limit
+        self.states = 0
+        self.truncated = False
+        self.best_nodes: tuple[int, ...] | None = None
+        self.best_obj = math.inf
+        if incumbent is not None:
+            self.best_nodes = tuple(incumbent)
+            self.best_obj = sum(
+                w * x for w, x in zip(self.weights, incumbent)
+            )
+        # Fractional per-bin lower bounds and their suffix sums: bin j
+        # costs at least d_j * min_k (w_k / a_k) in any solution.
+        n_bins = len(instance.bin_labels)
+        self.bin_lb = [0.0] * n_bins
+        for j, group in enumerate(self.groups):
+            if group:
+                self.bin_lb[j] = instance.demands[j] * min(
+                    self.weights[k] / instance.pair_rate[k] for k in group
+                )
+        self.suffix_lb = [0.0] * (n_bins + 1)
+        for j in range(n_bins - 1, -1, -1):
+            self.suffix_lb[j] = self.suffix_lb[j + 1] + self.bin_lb[j]
+        self.x = [0] * len(instance.pair_bin)
+        self.supply = [0] * len(instance.platform_ids)
+
+    def run(self) -> None:
+        if any(not g for g in self.groups):
+            return  # a bin nobody can serve: trivially infeasible
+        self._bin(0, 0.0, 0.0, 0.0)
+
+    def _tick(self) -> bool:
+        self.states += 1
+        if self.states >= self.state_limit:
+            self.truncated = True
+            return False
+        return True
+
+    def _bin(self, j: int, obj: float, power: float, cost: float) -> None:
+        if j == len(self.groups):
+            if obj < self.best_obj - 1e-12:
+                self.best_obj = obj
+                self.best_nodes = tuple(self.x)
+            return
+        demand = self.inst.demands[j]
+        self._cover(j, 0, demand, obj, power, cost)
+
+    def _cover(
+        self,
+        j: int,
+        t: int,
+        remaining: float,
+        obj: float,
+        power: float,
+        cost: float,
+    ) -> None:
+        """Choose counts for bin ``j``'s pairs from position ``t`` on,
+        with ``remaining`` demand still uncovered."""
+        if self.truncated or not self._tick():
+            return
+        inst = self.inst
+        group = self.groups[j]
+        tol = _REL_TOL * max(1.0, inst.demands[j])
+        if remaining <= tol:
+            self._bin(j + 1, obj, power, cost)
+            return
+        if t == len(group):
+            return  # ran out of platforms with demand uncovered
+        # Bound: finishing this bin costs at least remaining * best
+        # weight-per-job among the still-available pairs.
+        rest = [
+            self.weights[k] / inst.pair_rate[k] for k in group[t:]
+        ]
+        bound = obj + remaining * min(rest) + self.suffix_lb[j + 1]
+        if bound >= self.best_obj - 1e-12:
+            return
+        k = group[t]
+        i = inst.pair_platform[k]
+        supply_left = inst.max_nodes[i] - self.supply[i]
+        hi = min(
+            _ceil_div(remaining, inst.pair_rate[k]),
+            int(supply_left) if math.isfinite(supply_left) else 10**18,
+        )
+        w, p = self.weights[k], inst.pair_power[k]
+        c = inst.unit_costs[i]
+        if math.isfinite(inst.power_budget) and p > 0:
+            p_room = inst.power_budget * (1 + _REL_TOL) - power
+            hi = min(hi, int(p_room // p) if p_room >= p else 0)
+        if math.isfinite(inst.cost_budget) and c > 0:
+            c_room = inst.cost_budget * (1 + _REL_TOL) - cost
+            hi = min(hi, int(c_room // c) if c_room >= c else 0)
+        for count in range(0, hi + 1):
+            self.x[k] = count
+            self.supply[i] += count
+            self._cover(
+                j,
+                t + 1,
+                remaining - count * inst.pair_rate[k],
+                obj + count * w,
+                power + count * p,
+                cost + count * c,
+            )
+            self.supply[i] -= count
+            self.x[k] = 0
+            if self.truncated:
+                return
+
+
+def solve_exact(
+    instance: FleetInstance,
+    *,
+    state_limit: int = 2_000_000,
+    incumbent: tuple[int, ...] | None = None,
+    recorder: TraceRecorder = NULL_RECORDER,
+    _method: str = "exact",
+) -> FleetSolution:
+    """Provably optimal mix by exhaustive irreducible-cover search.
+
+    With the default ``state_limit`` this is the oracle for small
+    instances; if the limit is hit the result degrades to the best
+    incumbent (status ``"feasible"``/``"unknown"``) -- the scalable
+    path uses exactly that mode as its polish step.
+    """
+    with recorder.span(
+        "fleet_solve",
+        method=_method,
+        bins=len(instance.bin_labels),
+        platforms=len(instance.platform_ids),
+        pairs=len(instance.pair_bin),
+    ):
+        search = _ExactSearch(instance, state_limit, incumbent)
+        search.run()
+    zeros = tuple(0 for _ in instance.pair_bin)
+    if search.best_nodes is None:
+        status = "unknown" if search.truncated else "infeasible"
+        return _solution(
+            instance, status, _method, zeros, states=search.states
+        )
+    status = "feasible" if search.truncated else "optimal"
+    return _solution(
+        instance,
+        status,
+        _method,
+        search.best_nodes,
+        states=search.states,
+    )
+
+
+def _relaxation(instance: FleetInstance):
+    """The LP relaxation (drops integrality, keeps every constraint)."""
+    n = len(instance.pair_bin)
+    weights = instance.pair_weights()
+    a_ge, b_ge, a_ub, b_ub = [], [], [], []
+    for j, group in enumerate(instance.bin_pairs()):
+        row = [0.0] * n
+        for k in group:
+            row[k] = instance.pair_rate[k]
+        a_ge.append(row)
+        b_ge.append(instance.demands[j])
+    if math.isfinite(instance.power_budget):
+        a_ub.append(list(instance.pair_power))
+        b_ub.append(instance.power_budget)
+    if math.isfinite(instance.cost_budget):
+        a_ub.append(list(instance.pair_costs()))
+        b_ub.append(instance.cost_budget)
+    for i, cap in enumerate(instance.max_nodes):
+        if math.isfinite(cap):
+            row = [0.0] * n
+            for k, plat in enumerate(instance.pair_platform):
+                if plat == i:
+                    row[k] = 1.0
+            a_ub.append(row)
+            b_ub.append(cap)
+    return solve_lp(weights, a_ub=a_ub, b_ub=b_ub, a_ge=a_ge, b_ge=b_ge)
+
+
+def _greedy_complete(
+    instance: FleetInstance, x: list[int]
+) -> list[int] | None:
+    """Fill coverage deficits greedily within the budgets; None if the
+    budgets leave no way to add a needed node."""
+    weights = instance.pair_weights()
+    costs = instance.pair_costs()
+    _, power, cost, _ = _totals(instance, x)
+    supply = [0] * len(instance.platform_ids)
+    for k, count in enumerate(x):
+        supply[instance.pair_platform[k]] += count
+    for j, group in enumerate(instance.bin_pairs()):
+        demand = instance.demands[j]
+        tol = _REL_TOL * max(1.0, demand)
+        covered = sum(instance.pair_rate[k] * x[k] for k in group)
+        while covered < demand - tol:
+            # Cheapest feasible jobs-per-weight pair, first index on ties.
+            pick, pick_score = -1, math.inf
+            for k in group:
+                i = instance.pair_platform[k]
+                if supply[i] + 1 > instance.max_nodes[i]:
+                    continue
+                if power + instance.pair_power[k] > instance.power_budget * (
+                    1 + _REL_TOL
+                ):
+                    continue
+                if cost + costs[k] > instance.cost_budget * (1 + _REL_TOL):
+                    continue
+                score = weights[k] / instance.pair_rate[k]
+                if score < pick_score - 1e-15:
+                    pick, pick_score = k, score
+            if pick < 0:
+                return None
+            x[pick] += 1
+            supply[instance.pair_platform[pick]] += 1
+            power += instance.pair_power[pick]
+            cost += costs[pick]
+            covered += instance.pair_rate[pick]
+    return x
+
+
+def _trim(instance: FleetInstance, x: list[int]) -> list[int]:
+    """Remove nodes whose coverage surplus allows it (heaviest first)."""
+    weights = instance.pair_weights()
+    for j, group in enumerate(instance.bin_pairs()):
+        demand = instance.demands[j]
+        tol = _REL_TOL * max(1.0, demand)
+        covered = sum(instance.pair_rate[k] * x[k] for k in group)
+        # Heaviest-per-node first so trimming favours the objective;
+        # index tie-break keeps it deterministic.
+        for k in sorted(group, key=lambda k: (-weights[k], k)):
+            while x[k] > 0 and covered - instance.pair_rate[k] >= demand - tol:
+                x[k] -= 1
+                covered -= instance.pair_rate[k]
+    return x
+
+
+def solve(
+    instance: FleetInstance,
+    *,
+    polish_states: int = 200_000,
+    recorder: TraceRecorder = NULL_RECORDER,
+) -> FleetSolution:
+    """The scalable path: LP relax, round, greedy-fill, trim, polish.
+
+    Always returns the LP lower bound alongside the integer solution,
+    so callers see the worst-case optimality gap.  The polish step is
+    the exact search capped at ``polish_states``; when it finishes
+    inside the cap the result is provably optimal and the status says
+    so.
+    """
+    with recorder.span(
+        "fleet_solve",
+        method="lp_greedy",
+        bins=len(instance.bin_labels),
+        platforms=len(instance.platform_ids),
+        pairs=len(instance.pair_bin),
+    ):
+        zeros = tuple(0 for _ in instance.pair_bin)
+        if any(not g for g in instance.bin_pairs()):
+            return _solution(instance, "infeasible", "lp_greedy", zeros)
+        lp = _relaxation(instance)
+        if lp.status == "infeasible":
+            # The relaxation is a superset of the integer feasible set.
+            return _solution(
+                instance, "infeasible", "lp_greedy", zeros, lp_bound=math.inf
+            )
+        lp_bound = lp.objective if lp.status == "optimal" else math.nan
+        incumbent: tuple[int, ...] | None = None
+        if lp.status == "optimal":
+            rounded = _greedy_complete(
+                instance, [int(math.floor(v + _REL_TOL)) for v in lp.x]
+            )
+            if rounded is not None:
+                incumbent = tuple(_trim(instance, rounded))
+        # The outer span already covers the polish; NULL_RECORDER avoids
+        # a redundant nested fleet_solve span.
+        polished = solve_exact(
+            instance,
+            state_limit=polish_states,
+            incumbent=incumbent,
+            recorder=NULL_RECORDER,
+            _method="lp_greedy",
+        )
+    return FleetSolution(
+        status=polished.status,
+        method="lp_greedy",
+        objective=polished.objective,
+        nodes=polished.nodes,
+        objective_value=polished.objective_value,
+        energy=polished.energy,
+        power=polished.power,
+        cost=polished.cost,
+        total_nodes=polished.total_nodes,
+        lp_bound=lp_bound,
+        states_explored=polished.states_explored,
+    )

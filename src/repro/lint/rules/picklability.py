@@ -33,6 +33,12 @@ POOL_MODULES = (
     "repro.telemetry.recorder",
     "repro.faults.plan",
     "repro.machine.kernel",
+    # Fleet instances/solutions are solver inputs/outputs that future
+    # parallel solvers may ship across a pool; hold them to the same
+    # frozen-primitive discipline now.
+    "repro.fleet.workload",
+    "repro.fleet.evaluate",
+    "repro.fleet.solver",
 )
 
 #: Simple names that make a pickled field blow up (or silently alias).

@@ -56,7 +56,9 @@ class StoreKeyStabilityRule(Rule):
         "dataclasses in repro.store must be frozen=True and must not "
         "declare unordered-collection or callable fields"
     )
-    scope = ("repro.store",)
+    # repro.fleet dataclasses feed report hashing and (via fitted
+    # theta) store keys, so they obey the same stability rules.
+    scope = ("repro.store", "repro.fleet")
     interests = (ast.ClassDef,)
 
     def visit(self, node: ast.AST, ctx: ModuleContext) -> Iterable[Finding]:

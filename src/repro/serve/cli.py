@@ -23,6 +23,7 @@ import signal
 import sys
 import time
 
+from ..cli import positive_int
 from ..experiments.common import CampaignSettings
 from ..store.cli import CACHE_DIR_ENV, resolve_cache_dir
 from ..telemetry.recorder import NULL_RECORDER, TraceRecorder
@@ -53,7 +54,7 @@ def build_serve_parser(
     )
     parser.add_argument(
         "--max-batch",
-        type=int,
+        type=positive_int,
         default=32,
         metavar="N",
         help="max requests coalesced into one assembly (default 32)",
@@ -68,7 +69,7 @@ def build_serve_parser(
     )
     parser.add_argument(
         "--max-body-bytes",
-        type=int,
+        type=positive_int,
         default=64 * 1024,
         metavar="BYTES",
         help="request bodies larger than this answer 413 (default 64KiB)",

@@ -34,14 +34,10 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import Any
 
-import numpy as np
-
-from ..experiments.common import CampaignSettings
+from ..experiments.common import CampaignSettings, fitted_platform_config
 from ..machine.config import PlatformConfig
 from ..machine.engine import Engine
 from ..machine.platforms import platform
-from ..microbench.intensity import balanced_intensities
-from ..microbench.suite import fit_campaign, run_campaign
 from ..store.store import CampaignStore
 from ..telemetry.recorder import NULL_RECORDER, TraceRecorder
 from .protocol import PredictQuery
@@ -108,41 +104,22 @@ class ThetaResolver:
         return engine
 
     def _config(self, platform_id: str, theta: str) -> PlatformConfig:
-        base = platform(platform_id)
         if theta == "truth":
-            return base
+            return platform(platform_id)
         fitted = self._fitted.get(platform_id)
         if fitted is not None:
             return fitted
         self.fitted_resolutions += 1
-        settings = self.settings
-        campaign = run_campaign(
-            base,
-            seed=settings.seed,
-            replicates=settings.replicates,
-            intensities=balanced_intensities(
-                base, points_per_octave=settings.points_per_octave
-            ),
-            target_duration=settings.target_duration,
-            include_double=settings.include_double,
-            include_cache=settings.include_cache,
-            include_chase=settings.include_chase,
-            faults=settings.faults,
-            max_retries=settings.max_retries,
-            recorder=self.recorder,
+        # The shared resolution path (same rng derivation as
+        # run_platform_fit), so a store shared with `archline campaign`
+        # or `archline fleet` replays the identical campaign and fit.
+        config = fitted_platform_config(
+            platform_id,
+            self.settings,
             store=self.store,
-            cache_refresh=self.refresh,
-        )
-        # Same rng derivation as run_platform_fit, so a store shared
-        # with `archline campaign` replays the identical fit entry.
-        fit = fit_campaign(
-            campaign,
-            rng=np.random.default_rng(settings.seed + 1),
+            refresh=self.refresh,
             recorder=self.recorder,
-            store=self.store,
-            cache_refresh=self.refresh,
         )
-        config = replace(base, truth=fit.fitted_params)
         self._fitted[platform_id] = config
         return config
 

@@ -49,9 +49,11 @@ def build_cache_parser(
         help="reclaim entries from other engine versions (and, with "
         "--max-age-days, old entries)",
     )
+    from ..cli import nonnegative_float
+
     gc_p.add_argument(
         "--max-age-days",
-        type=float,
+        type=nonnegative_float,
         default=None,
         metavar="DAYS",
         help="also remove entries older than DAYS (default: only "

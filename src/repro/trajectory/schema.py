@@ -16,7 +16,9 @@ report is a single JSON object::
         "faulted_campaign":{... shard counters ...},
         "pool_campaign":   {... "parallel_efficiency", "workers" ...},
         "cached_campaign": {... "warm_speedup", "cache_hits",
-                            "fits_identical" ...}
+                            "fits_identical" ...},
+        "fleet_small":     {... "n_pairs", "states_explored",
+                            "optimal" ...}
       }
     }
 
@@ -60,6 +62,7 @@ SUITE_CAMPAIGNS = (
     "faulted_campaign",
     "pool_campaign",
     "cached_campaign",
+    "fleet_small",
 )
 
 #: Environment fields every report carries (all strings except

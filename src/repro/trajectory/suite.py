@@ -27,6 +27,13 @@ whose speed the repo has promised to keep:
     the metrics record the cold time, the warm speedup, the hit/miss
     counters and a ``fits_identical`` bit asserting the replay matched
     the compute bit-for-bit.
+``fleet_small``
+    The fleet/procurement optimizer (docs/FLEET.md) end to end: a
+    four-bin workload evaluated over all twelve Table I platforms and
+    solved under binding power and cost budgets via the scalable
+    LP + greedy + polish path.  Gates the solver's wall time and
+    records the state count and an ``optimal`` bit (the polish must
+    keep finishing inside its cap on this instance).
 
 Each function returns a flat ``{metric: number}`` dict (the report
 schema validates every value is a finite number) and takes ``quick``
@@ -60,6 +67,7 @@ __all__ = [
     "faulted_campaign",
     "pool_campaign",
     "cached_campaign",
+    "fleet_small",
 ]
 
 _SWEEP_POINTS = 1000
@@ -258,6 +266,54 @@ def cached_campaign(*, seed: int = 2014, quick: bool = False) -> dict:
     }
 
 
+def fleet_small(*, seed: int = 2014, quick: bool = False) -> dict:
+    """The procurement optimizer end to end (docs/FLEET.md).
+
+    Deterministic (theta is Table I truth), so the wall time is pure
+    evaluate + LP + greedy + polish; measured best-of like the sweeps.
+    """
+    del seed  # truth-theta: nothing stochastic to seed
+    from ..fleet import FleetInstance, WorkloadBin, WorkloadSpec
+    from ..fleet import default_offer, evaluate_fleet
+    from ..fleet import solve as fleet_solve
+    from ..machine.platforms import PLATFORM_IDS
+
+    workload = WorkloadSpec(
+        bins=(
+            WorkloadBin(jobs=400, algorithm="matmul", n=8192),
+            WorkloadBin(jobs=1200, algorithm="fft", n=2**24),
+            WorkloadBin(jobs=900, algorithm="stencil", n=1e8),
+            WorkloadBin(jobs=600, algorithm="spmv", n=1e7),
+        ),
+        horizon=3600.0,
+    )
+    platform_ids = PLATFORM_IDS[:4] if quick else PLATFORM_IDS
+    configs = {pid: platform(pid) for pid in platform_ids}
+    offers = {pid: default_offer(pid) for pid in platform_ids}
+
+    def solve_once():
+        matrix = evaluate_fleet(workload, configs)
+        instance = FleetInstance.from_matrix(
+            matrix,
+            workload,
+            offers,
+            power_budget=2000.0,
+            cost_budget=50000.0,
+        )
+        return fleet_solve(instance), instance
+
+    solve_once()  # warm
+    wall = _best_of(solve_once, _SWEEP_REPS)
+    solution, instance = solve_once()
+    return {
+        "wall_seconds": wall,
+        "n_pairs": len(instance.pair_bin),
+        "states_explored": solution.states_explored,
+        "total_nodes": solution.total_nodes,
+        "optimal": int(solution.status == "optimal"),
+    }
+
+
 #: The suite in run order; keys match ``schema.SUITE_CAMPAIGNS``.
 SUITE: dict[str, Callable[..., dict]] = {
     "uncapped_sweep": uncapped_sweep,
@@ -265,4 +321,5 @@ SUITE: dict[str, Callable[..., dict]] = {
     "faulted_campaign": faulted_campaign,
     "pool_campaign": pool_campaign,
     "cached_campaign": cached_campaign,
+    "fleet_small": fleet_small,
 }

@@ -1,0 +1,167 @@
+"""The fleet evaluation matrix, including the governor-aware rack
+power fix: node draw is the *capped* per-node draw, never the nominal
+demand."""
+
+import math
+
+import pytest
+
+from repro.fleet import WorkloadBin, WorkloadSpec, evaluate_fleet
+from repro.machine.governor import run_governor
+from repro.machine.platforms import all_platforms, platform
+from repro.telemetry.recorder import TraceRecorder
+
+
+def _spec(*bins):
+    return WorkloadSpec(bins=tuple(bins), horizon=3600.0)
+
+
+class TestMatrixShape:
+    def test_full_matrix_over_twelve_platforms(self):
+        spec = _spec(
+            WorkloadBin(jobs=10, algorithm="matmul", n=4096),
+            WorkloadBin(jobs=10, flops=1e12, bytes_moved=1e10),
+        )
+        matrix = evaluate_fleet(spec, all_platforms())
+        assert matrix.platform_ids == tuple(sorted(all_platforms()))
+        assert matrix.bin_labels == spec.labels
+        assert len(matrix.entries) + len(matrix.exclusions) == 2 * 12
+
+    def test_deterministic_of_dict_order(self):
+        spec = _spec(WorkloadBin(jobs=1, algorithm="fft", n=2 ** 20))
+        configs = all_platforms()
+        forward = evaluate_fleet(spec, dict(configs))
+        backward = evaluate_fleet(
+            spec, dict(reversed(list(configs.items())))
+        )
+        assert forward == backward
+
+    def test_entry_fields_consistent(self):
+        spec = _spec(WorkloadBin(jobs=7, algorithm="stencil", n=1e8))
+        matrix = evaluate_fleet(spec, {"gtx-titan": platform("gtx-titan")})
+        (e,) = matrix.entries
+        assert e.jobs_per_node == pytest.approx(3600.0 / e.time)
+        assert e.node_power == pytest.approx(e.energy / e.time)
+
+    def test_double_precision_exclusions(self):
+        spec = _spec(
+            WorkloadBin(jobs=1, algorithm="matmul", n=2048, precision="double")
+        )
+        matrix = evaluate_fleet(spec, all_platforms())
+        assert matrix.entries  # some platforms support double
+        assert matrix.exclusions  # several Table I platforms do not
+        served = {e.platform_id for e in matrix.entries}
+        assert served.isdisjoint(x.platform_id for x in matrix.exclusions)
+
+    def test_residency_exclusion(self):
+        spec = _spec(
+            WorkloadBin(jobs=1, algorithm="matmul", n=8192, resident=True)
+        )
+        matrix = evaluate_fleet(spec, all_platforms())
+        assert not matrix.entries
+        assert all("working set" in x.reason for x in matrix.exclusions)
+
+    def test_span_recorded(self):
+        recorder = TraceRecorder()
+        spec = _spec(WorkloadBin(jobs=1, algorithm="triad", n=1e8))
+        evaluate_fleet(
+            spec, {"nuc-cpu": platform("nuc-cpu")}, recorder=recorder
+        )
+        names = [s.name for s in recorder.records()]
+        assert "fleet_evaluate" in names
+
+
+class TestGovernorAwarePower:
+    """Satellite fix: rack power must sum min(demand, pi1+delta_pi),
+    not the nominal draw -- differentially checked against the
+    governor simulation itself."""
+
+    # fft on gtx-580 is power-bound: nominal draw exceeds the cap.
+    PLATFORM = "gtx-580"
+    BIN = WorkloadBin(jobs=1, algorithm="fft", n=2 ** 24)
+
+    def _entry(self):
+        matrix = evaluate_fleet(
+            _spec(self.BIN), {self.PLATFORM: platform(self.PLATFORM)}
+        )
+        (entry,) = matrix.entries
+        return entry, platform(self.PLATFORM)
+
+    def test_fixture_is_power_bound(self):
+        entry, config = self._entry()
+        assert entry.uncapped_node_power > config.max_model_power
+
+    def test_capped_draw_never_exceeds_rail(self):
+        entry, config = self._entry()
+        assert entry.node_power <= config.max_model_power * (1 + 1e-9)
+
+    def test_nominal_draw_would_overcommit_the_budget(self):
+        """Pre-fix accounting: budgeting the nominal draw rejects a
+        rack that the governor would in fact keep under the cap."""
+        entry, config = self._entry()
+        budget = 10 * config.max_model_power  # room for exactly 10 nodes
+        nodes_capped = int(budget / entry.node_power)
+        nodes_nominal = int(budget / entry.uncapped_node_power)
+        assert nodes_capped == 10
+        assert nodes_nominal < nodes_capped
+
+    def test_differential_against_run_governor(self):
+        """The closed-form capped draw equals pi1 + the governor's
+        mean dynamic power (within the loop's documented ramp-up
+        overshoot)."""
+        entry, config = self._entry()
+        truth = config.truth
+        inst = self.BIN
+        from repro.apps import fast_memory_capacity
+        from repro.fleet.workload import algorithm_by_name
+
+        algorithm = algorithm_by_name("fft")
+        instance = algorithm.instance(2 ** 24, fast_memory_capacity(config))
+        w, q = instance.flops, instance.bytes_moved
+        t_nominal = max(w * truth.tau_flop, q * truth.tau_mem)
+        demand = (w * truth.eps_flop + q * truth.eps_mem) / t_nominal
+        assert demand > truth.delta_pi  # genuinely throttled
+        # A fleet node runs its bin back-to-back for the whole horizon,
+        # so the governed execution to compare against is many jobs
+        # long -- long enough for the control loop to settle past its
+        # documented initial ramp-up overshoot.
+        jobs = max(1, math.ceil(2.0 / t_nominal))
+        result = run_governor(jobs * t_nominal, demand, truth.delta_pi)
+        assert result.throttled
+        durations = result.durations
+        mean_dynamic = float(
+            sum(f * demand * d for f, d in zip(result.frequencies, durations))
+            / sum(durations)
+        )
+        governor_draw = truth.pi1 + mean_dynamic
+        assert entry.node_power == pytest.approx(governor_draw, rel=0.02)
+        assert mean_dynamic <= truth.delta_pi * 1.02
+
+
+class TestRawBins:
+    def test_raw_bin_uses_model_directly(self):
+        from repro.core import model
+
+        spec = _spec(WorkloadBin(jobs=2, flops=1e12, bytes_moved=1e10))
+        matrix = evaluate_fleet(spec, {"gtx-titan": platform("gtx-titan")})
+        (e,) = matrix.entries
+        truth = platform("gtx-titan").truth
+        assert e.time == pytest.approx(
+            model.time(truth, 1e12, 1e10, capped=True)
+        )
+        assert e.energy == pytest.approx(
+            model.energy(truth, 1e12, 1e10, capped=True)
+        )
+
+    def test_empty_platforms_rejected(self):
+        spec = _spec(WorkloadBin(jobs=1, flops=1e9, bytes_moved=1e8))
+        with pytest.raises(ValueError):
+            evaluate_fleet(spec, {})
+
+    def test_matrix_lookup_helpers(self):
+        spec = _spec(WorkloadBin(jobs=1, algorithm="triad", n=1e8))
+        matrix = evaluate_fleet(spec, all_platforms())
+        label = spec.labels[0]
+        assert matrix.entry(label, "gtx-titan") is not None
+        assert matrix.entry(label, "no-such") is None
+        assert "gtx-titan" in matrix.feasible_platforms(label)

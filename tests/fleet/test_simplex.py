@@ -1,0 +1,89 @@
+"""The dependency-free two-phase simplex used for LP relaxations."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fleet.simplex import solve_lp
+
+
+class TestKnownPrograms:
+    def test_textbook_optimum(self):
+        # min x + y  s.t.  x + 2y >= 4, 3x + y >= 6
+        r = solve_lp([1.0, 1.0], a_ge=[[1, 2], [3, 1]], b_ge=[4, 6])
+        assert r.optimal
+        assert r.objective == pytest.approx(2.8)
+        assert r.x == pytest.approx((1.6, 1.2))
+
+    def test_infeasible(self):
+        r = solve_lp([1.0], a_ub=[[1]], b_ub=[1], a_ge=[[1]], b_ge=[2])
+        assert r.status == "infeasible"
+
+    def test_unbounded(self):
+        assert solve_lp([-1.0], a_ge=[[1]], b_ge=[1]).status == "unbounded"
+
+    def test_degenerate_vertex(self):
+        r = solve_lp(
+            [2.0, 3.0, 1.0],
+            a_ge=[[1, 1, 1]],
+            b_ge=[10],
+            a_ub=[[1, 0, 0]],
+            b_ub=[3],
+        )
+        assert r.optimal
+        assert r.objective == pytest.approx(10.0)
+
+    def test_no_constraints(self):
+        assert solve_lp([1.0, 2.0]).x == (0.0, 0.0)
+        assert solve_lp([-1.0]).status == "unbounded"
+
+    def test_zero_cost_still_feasible(self):
+        r = solve_lp([0.0, 0.0], a_ge=[[1, 1]], b_ge=[5])
+        assert r.optimal
+        assert sum(r.x) >= 5 - 1e-9
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            solve_lp([1.0], a_ub=[[1]], b_ub=[1, 2])
+
+
+class TestDeterminism:
+    def test_bitwise_repeatable(self):
+        args = dict(
+            a_ge=[[1, 2, 0.5], [3, 1, 1]],
+            b_ge=[4, 6],
+            a_ub=[[1, 1, 1]],
+            b_ub=[100],
+        )
+        first = solve_lp([1.0, 1.0, 2.0], **args)
+        for _ in range(3):
+            again = solve_lp([1.0, 1.0, 2.0], **args)
+            assert again.x == first.x
+            assert again.objective == first.objective
+
+
+@st.composite
+def covering_lps(draw):
+    """Random small covering LPs with box bounds: always feasible and
+    bounded, so the solver must return a certified optimum."""
+    n = draw(st.integers(min_value=1, max_value=5))
+    m = draw(st.integers(min_value=1, max_value=3))
+    pos = st.floats(min_value=0.1, max_value=10.0)
+    cost = [draw(pos) for _ in range(n)]
+    a_ge = [[draw(pos) for _ in range(n)] for _ in range(m)]
+    b_ge = [draw(st.floats(min_value=0.1, max_value=20.0)) for _ in range(m)]
+    return cost, a_ge, b_ge
+
+
+@given(covering_lps())
+@settings(max_examples=60)
+def test_covering_lp_solution_is_feasible_and_stationary(program):
+    cost, a_ge, b_ge = program
+    r = solve_lp(cost, a_ge=a_ge, b_ge=b_ge)
+    assert r.optimal  # positive rows and rhs: always feasible, bounded
+    for row, b in zip(a_ge, b_ge):
+        assert sum(a * x for a, x in zip(row, r.x)) >= b - 1e-6 * max(1.0, b)
+    assert all(x >= 0 for x in r.x)
+    assert r.objective == pytest.approx(
+        sum(c * x for c, x in zip(cost, r.x))
+    )

@@ -1,0 +1,362 @@
+"""Fleet solvers: hand instances plus the hypothesis differential
+suite (the scalable path must match the exact oracle on every small
+instance -- an ISSUE acceptance criterion)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fleet import FleetInstance, allocations, solve, solve_exact
+from repro.telemetry.recorder import TraceRecorder
+
+_REL = 1e-9
+
+
+def make_instance(
+    demands,
+    rates,
+    powers,
+    costs,
+    *,
+    max_nodes=None,
+    power_budget=math.inf,
+    cost_budget=math.inf,
+    objective="energy",
+    horizon=100.0,
+):
+    """Dense instance: rates[j][i], powers[j][i] per (bin j, platform i)."""
+    n_bins = len(demands)
+    n_plat = len(costs)
+    pair_bin, pair_platform, pair_rate, pair_power = [], [], [], []
+    for j in range(n_bins):
+        for i in range(n_plat):
+            if rates[j][i] is None:
+                continue
+            pair_bin.append(j)
+            pair_platform.append(i)
+            pair_rate.append(rates[j][i])
+            pair_power.append(powers[j][i])
+    return FleetInstance(
+        bin_labels=tuple(f"bin{j}" for j in range(n_bins)),
+        platform_ids=tuple(f"plat{i}" for i in range(n_plat)),
+        demands=tuple(float(d) for d in demands),
+        horizon=horizon,
+        pair_bin=tuple(pair_bin),
+        pair_platform=tuple(pair_platform),
+        pair_rate=tuple(pair_rate),
+        pair_power=tuple(pair_power),
+        unit_costs=tuple(float(c) for c in costs),
+        max_nodes=tuple(
+            float(m) for m in (max_nodes or [math.inf] * n_plat)
+        ),
+        power_budget=power_budget,
+        cost_budget=cost_budget,
+        objective=objective,
+    )
+
+
+def assert_feasible(instance, solution):
+    """Every constraint of the integer program holds."""
+    nodes = solution.nodes
+    assert all(isinstance(x, int) and x >= 0 for x in nodes)
+    for j, group in enumerate(instance.bin_pairs()):
+        covered = sum(instance.pair_rate[k] * nodes[k] for k in group)
+        d = instance.demands[j]
+        assert covered >= d - _REL * max(1.0, d), f"bin {j} uncovered"
+    power = sum(p * x for p, x in zip(instance.pair_power, nodes))
+    assert power <= instance.power_budget * (1 + 1e-6)
+    cost = sum(
+        instance.unit_costs[instance.pair_platform[k]] * x
+        for k, x in enumerate(nodes)
+    )
+    assert cost <= instance.cost_budget * (1 + 1e-6)
+    supply = [0] * len(instance.platform_ids)
+    for k, x in enumerate(nodes):
+        supply[instance.pair_platform[k]] += x
+    for i, cap in enumerate(instance.max_nodes):
+        assert supply[i] <= cap + 1e-9
+
+
+class TestHandInstances:
+    def test_single_bin_picks_cheapest_per_job(self):
+        # plat0: 2 jobs/node at 10 W; plat1: 5 jobs/node at 20 W.
+        # Energy per job: 10*100/2 = 500 vs 20*100/5 = 400 -> plat1.
+        inst = make_instance(
+            demands=[10],
+            rates=[[2.0, 5.0]],
+            powers=[[10.0, 20.0]],
+            costs=[100.0, 100.0],
+        )
+        sol = solve_exact(inst)
+        assert sol.status == "optimal"
+        assert sol.nodes == (0, 2)
+        assert sol.energy == pytest.approx(2 * 20.0 * 100.0)
+
+    def test_energy_equals_power_times_horizon(self):
+        inst = make_instance(
+            demands=[7, 3],
+            rates=[[2.0, 3.0], [1.0, 4.0]],
+            powers=[[5.0, 9.0], [4.0, 11.0]],
+            costs=[10.0, 30.0],
+            horizon=250.0,
+        )
+        sol = solve_exact(inst)
+        assert sol.solved
+        assert sol.energy == pytest.approx(sol.power * 250.0)
+
+    def test_power_budget_forces_different_mix(self):
+        # Under min-cost, plat1 is cheapest (2 nodes * 90 = 180) but
+        # draws 40 W; a 35 W rack cap forces the pricier, lower-draw
+        # plat0 fleet.  (Under min-energy a power cap cannot change the
+        # mix -- energy is power * horizon -- only feasibility.)
+        kwargs = dict(
+            demands=[10],
+            rates=[[2.0, 5.0]],
+            powers=[[6.0, 20.0]],
+            costs=[60.0, 90.0],
+            objective="cost",
+        )
+        free = solve_exact(make_instance(**kwargs))
+        capped = solve_exact(make_instance(**kwargs, power_budget=35.0))
+        assert free.nodes == (0, 2)
+        assert free.power == pytest.approx(40.0)
+        assert capped.status == "optimal"
+        assert capped.nodes == (5, 0)
+        assert capped.power <= 35.0
+        assert capped.cost > free.cost
+
+    def test_supply_cap_forces_mixing(self):
+        inst = make_instance(
+            demands=[10],
+            rates=[[2.0, 5.0]],
+            powers=[[10.0, 20.0]],
+            costs=[100.0, 100.0],
+            max_nodes=[math.inf, 1],
+        )
+        sol = solve_exact(inst)
+        assert sol.status == "optimal"
+        # One plat1 node covers 5 jobs; plat0 covers the rest.
+        assert sol.nodes == (3, 1)
+
+    def test_cost_objective(self):
+        # Cheapest coverage, not cheapest energy.
+        inst = make_instance(
+            demands=[10],
+            rates=[[2.0, 5.0]],
+            powers=[[1.0, 100.0]],
+            costs=[50.0, 90.0],
+            objective="cost",
+        )
+        sol = solve_exact(inst)
+        # plat0: 5 nodes * 50 = 250; plat1: 2 nodes * 90 = 180.
+        assert sol.nodes == (0, 2)
+        assert sol.cost == pytest.approx(180.0)
+
+    def test_infeasible_power_budget(self):
+        inst = make_instance(
+            demands=[10],
+            rates=[[1.0]],
+            powers=[[10.0]],
+            costs=[1.0],
+            power_budget=50.0,  # needs 10 nodes * 10 W = 100 W
+        )
+        exact = solve_exact(inst)
+        scalable = solve(inst)
+        assert exact.status == "infeasible"
+        assert scalable.status == "infeasible"
+        assert not exact.solved
+
+    def test_unservable_bin_is_infeasible(self):
+        inst = make_instance(
+            demands=[5, 5],
+            rates=[[1.0], [None]],  # nobody serves bin1
+            powers=[[1.0], [None]],
+            costs=[1.0],
+        )
+        assert solve_exact(inst).status == "infeasible"
+        assert solve(inst).status == "infeasible"
+
+    def test_allocations_consistent_with_totals(self):
+        inst = make_instance(
+            demands=[7, 3],
+            rates=[[2.0, 3.0], [1.0, 4.0]],
+            powers=[[5.0, 9.0], [4.0, 11.0]],
+            costs=[10.0, 30.0],
+        )
+        sol = solve(inst)
+        assert sol.solved
+        allocs = allocations(inst, sol)
+        assert sum(a.power for a in allocs) == pytest.approx(sol.power)
+        assert sum(a.energy for a in allocs) == pytest.approx(sol.energy)
+        assert sum(a.cost for a in allocs) == pytest.approx(sol.cost)
+        assert sum(a.nodes for a in allocs) == sol.total_nodes
+        for a in allocs:
+            assert a.nodes > 0
+
+    def test_lp_bound_reported_and_valid(self):
+        inst = make_instance(
+            demands=[9],
+            rates=[[2.0, 5.0]],
+            powers=[[10.0, 20.0]],
+            costs=[100.0, 100.0],
+        )
+        sol = solve(inst)
+        assert sol.status == "optimal"
+        assert math.isfinite(sol.lp_bound)
+        assert sol.lp_bound <= sol.objective_value + 1e-9
+
+    def test_deterministic_across_runs(self):
+        inst = make_instance(
+            demands=[8, 6, 4],
+            rates=[[2, 3, 1], [1, 2, 5], [4, 1, 2]],
+            powers=[[3, 7, 2], [4, 5, 9], [6, 2, 3]],
+            costs=[10, 20, 15],
+            power_budget=200.0,
+        )
+        first = solve(inst)
+        for _ in range(3):
+            assert solve(inst) == first
+
+    def test_exact_tie_break_is_deterministic(self):
+        # Two identical platforms: ties keep the first solution the
+        # DFS finds (counts ascend, so the later pair fills first),
+        # and that choice never varies between runs.
+        inst = make_instance(
+            demands=[4],
+            rates=[[2.0, 2.0]],
+            powers=[[5.0, 5.0]],
+            costs=[10.0, 10.0],
+        )
+        sol = solve_exact(inst)
+        assert sol.nodes == (0, 2)
+        assert all(solve_exact(inst).nodes == sol.nodes for _ in range(3))
+
+    def test_truncated_search_reports_states(self):
+        inst = make_instance(
+            demands=[50, 50],
+            rates=[[1.0, 1.1, 1.2], [1.0, 1.1, 1.2]],
+            powers=[[1.0, 2.0, 3.0], [1.0, 2.0, 3.0]],
+            costs=[1.0, 2.0, 3.0],
+        )
+        sol = solve_exact(inst, state_limit=10)
+        assert sol.status in ("feasible", "unknown")
+        assert sol.states_explored >= 10
+
+    def test_incumbent_seeds_truncated_search(self):
+        inst = make_instance(
+            demands=[50],
+            rates=[[1.0, 1.1]],
+            powers=[[1.0, 2.0]],
+            costs=[1.0, 2.0],
+        )
+        # A deliberately wasteful incumbent (one surplus node): the
+        # bound cannot prune it, so the 2-state search truncates and
+        # falls back to the seed.
+        seed = (50, 1)
+        sol = solve_exact(inst, state_limit=2, incumbent=seed)
+        assert sol.status == "feasible"
+        assert sol.nodes == seed
+        assert sol.objective_value == pytest.approx(
+            50 * 1.0 * 100.0 + 1 * 2.0 * 100.0
+        )
+
+    def test_solve_span_recorded_once(self):
+        recorder = TraceRecorder()
+        inst = make_instance(
+            demands=[4], rates=[[2.0]], powers=[[5.0]], costs=[10.0]
+        )
+        solve(inst, recorder=recorder)
+        spans = [s for s in recorder.records() if s.name == "fleet_solve"]
+        assert len(spans) == 1
+        assert spans[0].meta_dict()["method"] == "lp_greedy"
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="objective"):
+            make_instance(
+                demands=[1], rates=[[1.0]], powers=[[1.0]], costs=[1.0],
+                objective="area",
+            )
+        with pytest.raises(ValueError, match="budgets"):
+            make_instance(
+                demands=[1], rates=[[1.0]], powers=[[1.0]], costs=[1.0],
+                power_budget=0.0,
+            )
+        with pytest.raises(ValueError, match="rates"):
+            make_instance(
+                demands=[1], rates=[[0.0]], powers=[[1.0]], costs=[1.0],
+            )
+
+
+@st.composite
+def fleet_instances(draw):
+    """Random instances small enough for the oracle to finish."""
+    n_bins = draw(st.integers(min_value=1, max_value=3))
+    n_plat = draw(st.integers(min_value=1, max_value=6))
+    demand = st.integers(min_value=1, max_value=12)
+    rate = st.floats(min_value=0.5, max_value=6.0)
+    power = st.floats(min_value=0.5, max_value=10.0)
+    cost = st.floats(min_value=1.0, max_value=20.0)
+    demands = [draw(demand) for _ in range(n_bins)]
+    rates = [[draw(rate) for _ in range(n_plat)] for _ in range(n_bins)]
+    powers = [[draw(power) for _ in range(n_plat)] for _ in range(n_bins)]
+    costs = [draw(cost) for _ in range(n_plat)]
+    # Budgets: unlimited, generous, or tight (sometimes infeasible).
+    power_budget = draw(
+        st.one_of(
+            st.just(math.inf),
+            st.floats(min_value=5.0, max_value=400.0),
+        )
+    )
+    cost_budget = draw(
+        st.one_of(
+            st.just(math.inf),
+            st.floats(min_value=10.0, max_value=2000.0),
+        )
+    )
+    max_nodes = [
+        draw(st.one_of(st.just(math.inf), st.integers(1, 20)))
+        for _ in range(n_plat)
+    ]
+    objective = draw(st.sampled_from(["energy", "cost"]))
+    return make_instance(
+        demands,
+        rates,
+        powers,
+        costs,
+        max_nodes=max_nodes,
+        power_budget=power_budget,
+        cost_budget=cost_budget,
+        objective=objective,
+    )
+
+
+@given(fleet_instances())
+@settings(max_examples=80)
+def test_differential_scalable_vs_oracle(instance):
+    """ISSUE acceptance: on every instance small enough for the exact
+    oracle, the greedy/LP path is feasible and matches the optimum."""
+    oracle = solve_exact(instance, state_limit=5_000_000)
+    assert oracle.status in ("optimal", "infeasible"), "oracle truncated"
+    scalable = solve(instance)
+    assert scalable.solved == oracle.solved
+    if oracle.status == "infeasible":
+        assert scalable.status == "infeasible"
+        return
+    assert_feasible(instance, oracle)
+    assert_feasible(instance, scalable)
+    assert scalable.objective_value == pytest.approx(
+        oracle.objective_value, rel=1e-9, abs=1e-9
+    )
+    if math.isfinite(scalable.lp_bound):
+        assert (
+            scalable.lp_bound
+            <= oracle.objective_value * (1 + 1e-9) + 1e-9
+        )
+
+
+@given(fleet_instances())
+@settings(max_examples=40)
+def test_exact_is_deterministic(instance):
+    assert solve_exact(instance) == solve_exact(instance)

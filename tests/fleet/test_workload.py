@@ -1,0 +1,118 @@
+"""Workload spec parsing and validation."""
+
+import math
+
+import pytest
+
+from repro.fleet import WorkloadBin, WorkloadSpec
+from repro.fleet.workload import ALGORITHM_NAMES, algorithm_by_name
+
+
+class TestWorkloadBin:
+    def test_algorithm_bin(self):
+        b = WorkloadBin(jobs=10, algorithm="matmul", n=1024)
+        assert not b.is_raw
+        assert b.label == "matmul(n=1024)"
+        assert b.precision == "single"
+
+    def test_raw_bin(self):
+        b = WorkloadBin(jobs=5, flops=1e12, bytes_moved=1e10)
+        assert b.is_raw
+        assert "raw" in b.label
+
+    def test_double_precision_label(self):
+        b = WorkloadBin(jobs=1, algorithm="fft", n=64, precision="double")
+        assert "double" in b.label
+
+    def test_rejects_both_forms(self):
+        with pytest.raises(ValueError, match="not both"):
+            WorkloadBin(jobs=1, algorithm="fft", n=64, flops=1.0, bytes_moved=1.0)
+
+    def test_rejects_neither_form(self):
+        with pytest.raises(ValueError):
+            WorkloadBin(jobs=1)
+
+    def test_rejects_bad_numbers(self):
+        with pytest.raises(ValueError):
+            WorkloadBin(jobs=0, algorithm="fft", n=64)
+        with pytest.raises(ValueError):
+            WorkloadBin(jobs=math.nan, algorithm="fft", n=64)
+        with pytest.raises(ValueError):
+            WorkloadBin(jobs=1, algorithm="fft", n=math.inf)
+        with pytest.raises(ValueError):
+            WorkloadBin(jobs=1, flops=1e12, bytes_moved=math.nan)
+
+    def test_rejects_unknown_algorithm(self):
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            WorkloadBin(jobs=1, algorithm="dgemm", n=64)
+
+    def test_rejects_bad_precision(self):
+        with pytest.raises(ValueError, match="precision"):
+            WorkloadBin(jobs=1, algorithm="fft", n=64, precision="half")
+
+    def test_round_trip(self):
+        b = WorkloadBin(
+            jobs=3, algorithm="spmv", n=1e6, precision="single", resident=True
+        )
+        assert WorkloadBin.from_obj(b.to_obj()) == b
+        raw = WorkloadBin(jobs=2, flops=1e9, bytes_moved=1e8, label="k")
+        assert WorkloadBin.from_obj(raw.to_obj()) == raw
+
+    def test_from_obj_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown workload bin field"):
+            WorkloadBin.from_obj({"jobs": 1, "algorithm": "fft", "n": 4, "nn": 1})
+
+
+class TestWorkloadSpec:
+    def test_from_json(self):
+        spec = WorkloadSpec.from_json(
+            '{"horizon": 100.0, "bins": ['
+            '{"algorithm": "matmul", "n": 512, "jobs": 4},'
+            '{"W": 1e10, "Q": 1e9, "jobs": 2}]}'
+        )
+        assert spec.horizon == 100.0
+        assert len(spec.bins) == 2
+        assert len(set(spec.labels)) == 2
+
+    def test_round_trip(self):
+        spec = WorkloadSpec(
+            bins=(
+                WorkloadBin(jobs=4, algorithm="matmul", n=512),
+                WorkloadBin(jobs=2, flops=1e10, bytes_moved=1e9),
+            ),
+            horizon=60.0,
+        )
+        assert WorkloadSpec.from_obj(spec.to_obj()) == spec
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one bin"):
+            WorkloadSpec(bins=())
+
+    def test_rejects_duplicate_labels(self):
+        b = WorkloadBin(jobs=1, algorithm="fft", n=64)
+        with pytest.raises(ValueError, match="duplicate"):
+            WorkloadSpec(bins=(b, b))
+
+    def test_rejects_bad_json(self):
+        with pytest.raises(ValueError, match="not valid JSON"):
+            WorkloadSpec.from_json("{nope")
+
+    def test_rejects_bad_horizon(self):
+        b = WorkloadBin(jobs=1, algorithm="fft", n=64)
+        with pytest.raises(ValueError):
+            WorkloadSpec(bins=(b,), horizon=0.0)
+
+
+class TestAlgorithmRegistry:
+    def test_all_six_names(self):
+        assert ALGORITHM_NAMES == (
+            "fft", "matmul", "mergesort", "spmv", "stencil", "triad",
+        )
+
+    def test_lookup(self):
+        for name in ALGORITHM_NAMES:
+            assert algorithm_by_name(name).name
+
+    def test_unknown(self):
+        with pytest.raises(ValueError, match="choose from"):
+            algorithm_by_name("gemm")

@@ -53,7 +53,9 @@ class TestCacheSubcommand:
         assert "kept 1" in out
 
     def test_gc_bad_age(self, tmp_path, capsys):
-        assert (
+        # The shared strict validator now rejects this at parse time
+        # (argparse exits 2) instead of deep in the gc handler.
+        with pytest.raises(SystemExit) as err:
             main(
                 [
                     "cache",
@@ -64,9 +66,25 @@ class TestCacheSubcommand:
                     "-1",
                 ]
             )
-            == 2
-        )
-        assert "non-negative" in capsys.readouterr().err
+        assert err.value.code == 2
+        assert "must be >= 0" in capsys.readouterr().err
+
+    def test_gc_rejects_nan_age(self, tmp_path, capsys):
+        # Pre-fix, type=float accepted "nan", and a NaN age compares
+        # false against every mtime -- gc would silently keep all.
+        with pytest.raises(SystemExit) as err:
+            main(
+                [
+                    "cache",
+                    "gc",
+                    "--dir",
+                    str(tmp_path),
+                    "--max-age-days",
+                    "nan",
+                ]
+            )
+        assert err.value.code == 2
+        assert "finite" in capsys.readouterr().err
 
 
 class TestCampaignFlags:

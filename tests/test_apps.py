@@ -158,3 +158,90 @@ class TestAnalysis:
             spmv_csr(), 1e7, all_platforms(), objective="work_per_joule"
         )
         assert platform(pid).truth.constant_power_fraction < 0.5
+
+
+class TestBestPlatformRobustness:
+    """Regression tests for the best_platform correctness fixes:
+    deterministic tie-breaking and typed infeasibility exclusion."""
+
+    def _nan_config(self, pid: str):
+        """A platform whose theta went pathological (NaN taus).
+
+        ``MachineParams`` validates its fields, so a corrupted vector
+        (e.g. deserialised from a damaged store entry) is simulated by
+        bypassing the frozen dataclass -- the selection layer must
+        stay robust even when construction-time validation was dodged.
+        """
+        import copy
+        from dataclasses import replace
+
+        truth = copy.copy(platform(pid).truth)
+        object.__setattr__(truth, "tau_flop", math.nan)
+        object.__setattr__(truth, "tau_mem", math.nan)
+        return replace(platform(pid), truth=truth)
+
+    def test_ties_break_on_platform_id_not_dict_order(self):
+        """Two identical platforms under different ids: the winner is
+        the lexicographically first id, whatever the insertion order."""
+        cfg = platform("gtx-titan")
+        forward = {"aaa-clone": cfg, "zzz-clone": cfg}
+        backward = {"zzz-clone": cfg, "aaa-clone": cfg}
+        pid_f, _ = best_platform(fft(), 2 ** 22, forward)
+        pid_b, _ = best_platform(fft(), 2 ** 22, backward)
+        assert pid_f == pid_b == "aaa-clone"
+
+    def test_nan_prediction_is_excluded_not_winner(self):
+        """Pre-fix, a NaN score evaluated first poisoned every later
+        `score > best` comparison and the NaN platform won."""
+        configs = dict(all_platforms())
+        configs["aa-broken"] = self._nan_config("gtx-titan")
+        pid, result = best_platform(fft(), 2 ** 24, configs)
+        assert pid != "aa-broken"
+        assert math.isfinite(result.energy)
+
+    def test_all_infeasible_raises_with_reasons(self):
+        from repro.apps import rank_platforms
+
+        configs = {"aa-broken": self._nan_config("gtx-titan")}
+        with pytest.raises(ValueError, match="aa-broken"):
+            best_platform(fft(), 2 ** 20, configs)
+        ranked, excluded = rank_platforms(fft(), 2 ** 20, configs)
+        assert ranked == []
+        assert len(excluded) == 1
+        assert "non-finite" in excluded[0].reason
+
+    def test_unsupported_precision_is_excluded(self):
+        """Platforms without double-precision parameters are excluded
+        (with a reason), not a crash."""
+        from repro.apps import rank_platforms
+
+        ranked, excluded = rank_platforms(
+            fft(), 2 ** 22, all_platforms(), precision="double"
+        )
+        assert ranked  # some Table I platforms do support double
+        assert excluded  # and several do not
+        assert {e.platform_id for e in excluded}.isdisjoint(
+            pid for pid, _ in ranked
+        )
+
+    def test_residency_exclusion_opt_in(self):
+        """require_resident excludes working sets beyond fast memory;
+        the default keeps the historical DRAM-streaming semantics."""
+        from repro.apps import rank_platforms
+
+        configs = all_platforms()
+        ranked_default, _ = rank_platforms(matrix_multiply(), 8192, configs)
+        assert len(ranked_default) == len(configs)
+        ranked_resident, excluded = rank_platforms(
+            matrix_multiply(), 8192, configs, require_resident=True
+        )
+        # 3 * 8192^2 * 4 B working set dwarfs every modelled cache.
+        assert ranked_resident == []
+        assert all("working set" in e.reason for e in excluded)
+
+    def test_working_set_models(self):
+        inst = matrix_multiply().instance(1024, 1 << 20)
+        assert inst.working_set == pytest.approx(3 * 1024 * 1024 * 4)
+        assert not inst.fits_fast_memory
+        small = stream_triad().instance(100, 1 << 20)
+        assert small.fits_fast_memory
