@@ -233,29 +233,26 @@ class _Theta:
         return self.dynamic_energy(obs) + self.pi1 * obs.T
 
 
+@dataclass(frozen=True, eq=False)
 class ModelFit:
     """A fitted parameter vector plus provenance.
 
     ``params`` carries the headline Table I quantities (including
     per-level and random-access energies); prediction methods evaluate
-    the exact model that was fit.
+    the exact model that was fit.  Frozen because fits ride the shard
+    pool inside :class:`~repro.microbench.suite.FittedPlatform` -- a
+    mutable fit mutated on one side of a pickle boundary would
+    silently diverge from its twin (ARCH011).
     """
 
-    def __init__(
-        self,
-        params: MachineParams,
-        capped: bool,
-        diagnostics: FitDiagnostics,
-        theta: _Theta,
-    ) -> None:
-        self.params = params
-        self.capped = capped
-        self.diagnostics = diagnostics
-        self._theta = theta
+    params: MachineParams
+    capped: bool
+    diagnostics: FitDiagnostics
+    theta: _Theta
 
     def predict(self, obs: FitObservations) -> tuple[np.ndarray, np.ndarray]:
         """Model ``(time, energy)`` for a set of observations."""
-        return self._theta.predict(obs)
+        return self.theta.predict(obs)
 
     def predict_time(self, W, Q):
         """Model time for DRAM-only work (s)."""

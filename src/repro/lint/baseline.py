@@ -11,7 +11,10 @@ gate can land before the cleanup does on a bigger tree.
 
 Fingerprints hash the rule code, file path and stripped source-line
 text (plus an index among identical lines), not line numbers, so
-edits elsewhere in a file do not invalidate the baseline.
+edits elsewhere in a file do not invalidate the baseline.  Cross-module
+findings substitute their sorted ``path::symbol`` anchor for the source
+line (see :mod:`repro.lint.findings`), with the same stability
+guarantee across both endpoint files.
 """
 
 from __future__ import annotations
@@ -34,7 +37,7 @@ def assign_fingerprints(
     counts: Counter[tuple[str, str, str]] = Counter()
     out = []
     for finding in findings:
-        key = (finding.code, finding.path, finding.source_line)
+        key = (finding.code, finding.path, finding.identity())
         out.append((finding, finding.fingerprint(counts[key])))
         counts[key] += 1
     return out

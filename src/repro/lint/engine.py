@@ -40,7 +40,8 @@ def lint_context(
     sorted by location."""
     if rule_classes is None:
         rule_classes = list(rules_for())
-    rules = [cls() for cls in rule_classes if cls().applies(ctx)]
+    instances = (cls() for cls in rule_classes)
+    rules = [rule for rule in instances if rule.applies(ctx)]
     if not rules:
         return []
     findings: list[Finding] = []

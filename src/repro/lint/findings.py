@@ -6,6 +6,14 @@ stable rule code (``ARCH001``...), a severity, and a human message.  The
 the rule code, the file path and the stripped source line text (plus a
 duplicate index for identical lines) rather than the line *number*, so
 a baseline entry keeps matching when code above it moves.
+
+Cross-module findings (the ``--project`` rules, ARCH008-ARCH011) span
+two files, so one source line cannot identify them.  They carry an
+*anchor* instead: a line-number-free string built from the sorted
+``path::symbol`` endpoints of the cross-module path.  When an anchor is
+set it replaces the source line in the fingerprint, so project findings
+survive unrelated line insertions and file reordering exactly the way
+per-file findings survive edits above them.
 """
 
 from __future__ import annotations
@@ -38,11 +46,19 @@ class Finding:
     severity: Severity = field(default=Severity.ERROR, compare=False)
     #: The stripped text of the offending source line (fingerprint input).
     source_line: str = field(default="", compare=False)
+    #: Cross-module identity (``code|path::symbol|path::symbol``) for
+    #: project findings; empty for per-file findings.  When set it
+    #: replaces ``source_line`` as the fingerprint input.
+    anchor: str = field(default="", compare=False)
+
+    def identity(self) -> str:
+        """The line-number-free payload the fingerprint hashes."""
+        return self.anchor or self.source_line
 
     def fingerprint(self, duplicate_index: int = 0) -> str:
         """Stable identity for baseline matching (line-number free)."""
         payload = "\x1f".join(
-            (self.code, self.path, self.source_line, str(duplicate_index))
+            (self.code, self.path, self.identity(), str(duplicate_index))
         )
         return hashlib.sha1(payload.encode("utf-8")).hexdigest()
 
@@ -64,3 +80,37 @@ class Finding:
             "rule": self.rule,
             "fingerprint": self.fingerprint(),
         }
+
+    def to_payload(self) -> dict:
+        """Full round-trip form (the ``--project`` summary cache).
+
+        Unlike :meth:`to_dict` this keeps ``source_line`` and
+        ``anchor``, so a finding replayed from cache fingerprints
+        byte-identically to a freshly computed one.
+        """
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+            "rule": self.rule,
+            "severity": str(self.severity),
+            "source_line": self.source_line,
+            "anchor": self.anchor,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "Finding":
+        """Inverse of :meth:`to_payload`."""
+        return cls(
+            path=payload["path"],
+            line=payload["line"],
+            col=payload["col"],
+            code=payload["code"],
+            message=payload["message"],
+            rule=payload.get("rule", ""),
+            severity=Severity(payload.get("severity", "error")),
+            source_line=payload.get("source_line", ""),
+            anchor=payload.get("anchor", ""),
+        )

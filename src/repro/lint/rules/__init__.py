@@ -26,6 +26,7 @@ def load_builtin_rules() -> None:
         exceptions,
         floateq,
         picklability,
+        project_rules,
         store_keys,
         telemetry_hygiene,
         unit_discipline,

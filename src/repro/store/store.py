@@ -222,6 +222,10 @@ class CampaignStore:
             "kind": kind,
             "platform": platform,
             "engine_version": engine_fingerprint_version(),
+            # Deliberately wall-clock: ``created`` is gc-age metadata
+            # (compared against file mtimes at sweep time), never part
+            # of the content key or any measurement.
+            # archlint: disable=ARCH008
             "created": time.time(),
             "payload_sha1": sha1_hex(body),
             "payload_bytes": len(body),

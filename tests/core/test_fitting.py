@@ -241,3 +241,29 @@ class TestStandaloneEstimators:
     def test_fit_random_access_validation(self):
         with pytest.raises(ValueError):
             fit_random_access(np.array([]), np.array([]), np.array([]), pi1=1.0)
+
+
+class TestModelFitImmutability:
+    """ModelFit rides the shard pool inside FittedPlatform, so it must
+    be a frozen dataclass that pickles losslessly (ARCH011)."""
+
+    def test_model_fit_is_frozen(self, simple_machine):
+        import dataclasses
+
+        obs = synthetic_observations(simple_machine)
+        fit = fit_machine(obs, capped=True)
+        assert dataclasses.is_dataclass(fit)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            fit.capped = False
+
+    def test_model_fit_pickle_round_trip(self, simple_machine):
+        import pickle
+
+        obs = synthetic_observations(simple_machine)
+        fit = fit_machine(obs, capped=True)
+        clone = pickle.loads(pickle.dumps(fit))
+        assert clone.params == fit.params
+        t_a, e_a = fit.predict(obs)
+        t_b, e_b = clone.predict(obs)
+        np.testing.assert_array_equal(t_a, t_b)
+        np.testing.assert_array_equal(e_a, e_b)

@@ -1,0 +1,45 @@
+"""Fixture helpers for the whole-program lint tests.
+
+Each test builds a miniature ``repro`` package under ``tmp_path`` using
+the *real* module names the project rules key off
+(``repro.microbench.campaign.run_shard`` and friends) -- the dotted
+module name is inferred from ``__init__.py`` markers on disk exactly as
+in a source checkout, so these trees exercise the same resolution
+paths as the shipped tree.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.lint.project import lint_project
+
+
+def build_tree(root: Path, files: dict[str, str]) -> Path:
+    """Materialize ``{relative path: source}`` and add package markers."""
+    for rel, source in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+    for pyfile in root.rglob("*.py"):
+        parent = pyfile.parent
+        while parent != root:
+            marker = parent / "__init__.py"
+            if not marker.exists():
+                marker.write_text("")
+            parent = parent.parent
+    return root
+
+
+@pytest.fixture()
+def project(tmp_path):
+    """``project(files, codes=None, **kw)`` -> (findings, stats)."""
+
+    def run(files: dict[str, str], codes=None, **kwargs):
+        build_tree(tmp_path, files)
+        return lint_project([str(tmp_path / "repro")], codes, **kwargs)
+
+    return run

@@ -1,0 +1,130 @@
+"""Cross-module fingerprints: stability under edits, baseline flow.
+
+The satellite acceptance: a project finding's fingerprint survives
+unrelated-line insertions in *both* files and reordering of
+definitions, and inline suppression on either endpoint retires it --
+so the shipped (empty) baseline format works unchanged for
+ARCH008-ARCH011.
+"""
+
+from __future__ import annotations
+
+from repro.lint.baseline import assign_fingerprints, filter_baselined
+from repro.lint.findings import Finding
+from repro.lint.project import lint_project
+
+from .conftest import build_tree
+
+TREE = {
+    "repro/microbench/campaign.py": """
+        from repro.store.store import save_entry
+
+        def run_shard(spec):
+            return save_entry(spec)
+        """,
+    "repro/store/store.py": """
+        import time
+
+        def save_entry(spec):
+            return {"created": time.time(), "spec": spec}
+        """,
+}
+
+
+def fingerprints(tmp_path):
+    findings, _ = lint_project([str(tmp_path / "repro")], ["ARCH008"])
+    return {f.fingerprint() for f in findings}
+
+
+class TestAnchorFingerprints:
+    def test_anchor_names_both_endpoints(self, tmp_path):
+        build_tree(tmp_path, TREE)
+        findings, _ = lint_project([str(tmp_path / "repro")], ["ARCH008"])
+        (finding,) = findings
+        assert finding.anchor.startswith("ARCH008|")
+        assert "run_shard" in finding.anchor
+        assert "store.py" in finding.anchor
+
+    def test_survives_line_insertions_in_both_files(self, tmp_path):
+        build_tree(tmp_path, TREE)
+        before = fingerprints(tmp_path)
+        for rel in TREE:
+            path = tmp_path / rel
+            path.write_text(
+                "# comment\n# another\nX = 0\n" + path.read_text()
+            )
+        assert fingerprints(tmp_path) == before
+
+    def test_survives_definition_reordering(self, tmp_path):
+        build_tree(tmp_path, TREE)
+        before = fingerprints(tmp_path)
+        store = tmp_path / "repro/store/store.py"
+        store.write_text(
+            "import time\n"
+            "\n"
+            "def unrelated_helper():\n"
+            "    return 41\n"
+            "\n"
+            "def save_entry(spec):\n"
+            '    return {"created": time.time(), "spec": spec}\n'
+        )
+        assert fingerprints(tmp_path) == before
+
+    def test_distinct_sinks_get_distinct_fingerprints(self, tmp_path):
+        files = dict(TREE)
+        files["repro/store/store.py"] = """
+            import time
+            import datetime
+
+            def save_entry(spec):
+                a = time.time()
+                b = datetime.datetime.now()
+                return (a, b, spec)
+            """
+        build_tree(tmp_path, files)
+        prints = fingerprints(tmp_path)
+        assert len(prints) == 2
+
+    def test_per_file_findings_unaffected_by_anchor_layer(self):
+        finding = Finding(
+            path="a.py",
+            line=3,
+            col=0,
+            code="ARCH003",
+            message="m",
+            source_line="except: pass",
+        )
+        assert finding.identity() == "except: pass"
+        anchored = Finding(
+            path="a.py",
+            line=3,
+            col=0,
+            code="ARCH008",
+            message="m",
+            source_line="except: pass",
+            anchor="ARCH008|a.py::f|b.py::g",
+        )
+        assert anchored.identity() == "ARCH008|a.py::f|b.py::g"
+        assert anchored.fingerprint() != finding.fingerprint()
+
+    def test_baseline_round_trip_retires_project_finding(self, tmp_path):
+        build_tree(tmp_path, TREE)
+        findings, _ = lint_project([str(tmp_path / "repro")], ["ARCH008"])
+        baselined = assign_fingerprints(findings)
+        fresh, matched = filter_baselined(
+            findings, {fingerprint for _, fingerprint in baselined}
+        )
+        assert fresh == []
+        assert matched == len(findings)
+
+    def test_duplicate_anchors_disambiguate_by_index(self):
+        a = Finding(
+            path="a.py", line=1, col=0, code="ARCH008", message="m",
+            anchor="ARCH008|x|y",
+        )
+        b = Finding(
+            path="a.py", line=9, col=0, code="ARCH008", message="m",
+            anchor="ARCH008|x|y",
+        )
+        pairs = assign_fingerprints([a, b])
+        assert len({fingerprint for _, fingerprint in pairs}) == 2

@@ -1,0 +1,110 @@
+"""ProjectGraph resolution: re-exports, inheritance, attribute hops."""
+
+from __future__ import annotations
+
+from repro.lint.context import ModuleContext
+from repro.lint.project.graph import ProjectGraph
+from repro.lint.project.summaries import summarize_module
+
+
+def graph_of(modules: dict[str, str]) -> ProjectGraph:
+    summaries = []
+    for module, source in modules.items():
+        path = module.replace(".", "/") + ".py"
+        ctx = ModuleContext.from_source(source, path=path, module=module)
+        summaries.append(summarize_module(ctx))
+    return ProjectGraph(summaries)
+
+
+class TestResolve:
+    def test_direct_function(self):
+        graph = graph_of({"repro.a": "def f():\n    return 1\n"})
+        assert graph.resolve("repro.a.f") == ("func", "repro.a.f")
+
+    def test_package_reexport(self):
+        # The re-exporting module must be summarized as a package
+        # (__init__.py path) so its relative import absolutizes.
+        ctx = ModuleContext.from_source(
+            "from .campaign import run_shard\n",
+            path="repro/microbench/__init__.py",
+            module="repro.microbench",
+        )
+        ctx2 = ModuleContext.from_source(
+            "def run_shard(spec):\n    return spec\n",
+            path="repro/microbench/campaign.py",
+            module="repro.microbench.campaign",
+        )
+        graph = ProjectGraph(
+            [summarize_module(ctx), summarize_module(ctx2)]
+        )
+        assert graph.resolve("repro.microbench.run_shard") == (
+            "func",
+            "repro.microbench.campaign.run_shard",
+        )
+
+    def test_method_found_on_base_class(self):
+        graph = graph_of(
+            {
+                "repro.base": (
+                    "class Engine:\n"
+                    "    def run_batch(self):\n"
+                    "        return 0\n"
+                ),
+                "repro.derived": (
+                    "from repro.base import Engine\n"
+                    "class TurboEngine(Engine):\n"
+                    "    pass\n"
+                ),
+            }
+        )
+        assert graph.resolve("repro.derived.TurboEngine.run_batch") == (
+            "func",
+            "repro.base.Engine.run_batch",
+        )
+
+    def test_unknown_reference_is_none(self):
+        graph = graph_of({"repro.a": "def f():\n    return 1\n"})
+        assert graph.resolve("numpy.linalg.solve") is None
+
+
+class TestAttributeHop:
+    def test_self_attr_method_resolves_through_init(self):
+        graph = graph_of(
+            {
+                "repro.rig": (
+                    "class Rig:\n"
+                    "    def read(self):\n"
+                    "        return 1\n"
+                ),
+                "repro.runner": (
+                    "from repro.rig import Rig\n"
+                    "class Runner:\n"
+                    "    def __init__(self):\n"
+                    "        self.rig = Rig()\n"
+                    "    def execute(self):\n"
+                    "        return self.rig.read()\n"
+                ),
+            }
+        )
+        execute = graph.functions["repro.runner.Runner.execute"]
+        (call,) = [c for c in execute.calls if c.callees]
+        assert graph.callee_functions(call) == ["repro.rig.Rig.read"]
+
+    def test_constructor_call_expands_to_init(self):
+        graph = graph_of(
+            {
+                "repro.rig": (
+                    "class Rig:\n"
+                    "    def __init__(self):\n"
+                    "        self.n = 0\n"
+                ),
+                "repro.use": (
+                    "from repro.rig import Rig\n"
+                    "def build():\n"
+                    "    return Rig()\n"
+                ),
+            }
+        )
+        build = graph.functions["repro.use.build"]
+        (call,) = [c for c in build.calls if c.callees]
+        assert graph.callee_functions(call) == ["repro.rig.Rig.__init__"]

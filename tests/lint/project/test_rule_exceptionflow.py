@@ -1,0 +1,144 @@
+"""ARCH010: faults raised under BenchmarkRunner.execute must unwind."""
+
+from __future__ import annotations
+
+
+def runner_module(body: str) -> str:
+    return (
+        "from repro.measure.rig import read_channel\n"
+        "\n"
+        "class BenchmarkRunner:\n"
+        "    def execute(self):\n"
+        "        return read_channel()\n" + body
+    )
+
+
+DRIVER = """
+    class RigFaultError(Exception):
+        pass
+
+    def sample():
+        raise RigFaultError("bad channel")
+    """
+
+
+def rig_module(handler: str) -> str:
+    return (
+        "from repro.measure.driver import sample\n"
+        "\n"
+        "def read_channel():\n"
+        "    try:\n"
+        "        return sample()\n" + handler
+    )
+
+
+def files_with(handler: str) -> dict[str, str]:
+    return {
+        "repro/microbench/runner.py": runner_module(""),
+        "repro/measure/rig.py": rig_module(handler),
+        "repro/measure/driver.py": DRIVER,
+    }
+
+
+class TestFaultFlow:
+    def test_broad_except_swallow_is_flagged(self, project):
+        findings, _ = project(
+            files_with("    except Exception:\n        return None\n"),
+            codes=["ARCH010"],
+        )
+        assert [f.code for f in findings] == ["ARCH010"]
+        (finding,) = findings
+        assert finding.path.endswith("repro/measure/rig.py")
+        assert "RigFaultError" in finding.message
+        assert "sample" in finding.message
+
+    def test_bare_except_swallow_is_flagged(self, project):
+        findings, _ = project(
+            files_with("    except:\n        return None\n"),
+            codes=["ARCH010"],
+        )
+        assert [f.code for f in findings] == ["ARCH010"]
+
+    def test_broad_except_with_reraise_is_clean(self, project):
+        findings, _ = project(
+            files_with(
+                "    except Exception:\n        raise\n"
+            ),
+            codes=["ARCH010"],
+        )
+        assert findings == []
+
+    def test_fault_specific_handler_is_clean(self, project):
+        # Catching the fault class explicitly is legitimate handling.
+        findings, _ = project(
+            files_with(
+                "    except RigFaultError:\n        return None\n"
+            ),
+            codes=["ARCH010"],
+        )
+        assert findings == []
+
+    def test_value_error_handler_does_not_catch_faults(self, project):
+        # ValueError is deliberately not fault-catching: the fault
+        # escapes past it, so nothing is swallowed.
+        findings, _ = project(
+            files_with(
+                "    except ValueError:\n        return None\n"
+            ),
+            codes=["ARCH010"],
+        )
+        assert findings == []
+
+    def test_swallow_outside_runner_scope_is_clean(self, project):
+        # The same swallow pattern not reachable from execute() is out
+        # of scope for ARCH010.
+        files = {
+            "repro/measure/rig.py": rig_module(
+                "    except Exception:\n        return None\n"
+            ),
+            "repro/measure/driver.py": DRIVER,
+        }
+        findings, _ = project(files, codes=["ARCH010"])
+        assert findings == []
+
+    def test_swallow_two_hops_below_execute(self, project):
+        files = {
+            "repro/microbench/runner.py": runner_module(""),
+            "repro/measure/rig.py": (
+                "from repro.measure.session import pull\n"
+                "\n"
+                "def read_channel():\n"
+                "    return pull()\n"
+            ),
+            "repro/measure/session.py": (
+                "from repro.measure.driver import sample\n"
+                "\n"
+                "def pull():\n"
+                "    try:\n"
+                "        return sample()\n"
+                "    except Exception:\n"
+                "        return None\n"
+            ),
+            "repro/measure/driver.py": DRIVER,
+        }
+        findings, _ = project(files, codes=["ARCH010"])
+        assert [f.code for f in findings] == ["ARCH010"]
+        assert findings[0].path.endswith("repro/measure/session.py")
+
+    def test_suppression_at_origin_endpoint(self, project):
+        files = {
+            "repro/microbench/runner.py": runner_module(""),
+            "repro/measure/rig.py": rig_module(
+                "    except Exception:\n        return None\n"
+            ),
+            "repro/measure/driver.py": (
+                "class RigFaultError(Exception):\n"
+                "    pass\n"
+                "\n"
+                "def sample():\n"
+                "    # archlint: disable=ARCH010\n"
+                '    raise RigFaultError("bad channel")\n'
+            ),
+        }
+        findings, _ = project(files, codes=["ARCH010"])
+        assert findings == []

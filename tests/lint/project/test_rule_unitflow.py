@@ -1,0 +1,205 @@
+"""ARCH009: unit suffixes across call, return and assignment boundaries."""
+
+from __future__ import annotations
+
+
+def codes(findings):
+    return [f.code for f in findings]
+
+
+class TestCallBoundary:
+    def test_joules_into_seconds_parameter(self, project):
+        files = {
+            "repro/report.py": """
+                from repro.machine.power import average_power
+
+                def summarize(energy_joules):
+                    return average_power(energy_joules)
+                """,
+            "repro/machine/power.py": """
+                def average_power(duration_seconds):
+                    return 1.0 / duration_seconds
+                """,
+        }
+        findings, _ = project(files, codes=["ARCH009"])
+        assert codes(findings) == ["ARCH009"]
+        (finding,) = findings
+        assert finding.path.endswith("repro/report.py")
+        assert "joules" in finding.message
+        assert "duration_seconds" in finding.message
+
+    def test_keyword_argument_mismatch(self, project):
+        files = {
+            "repro/report.py": """
+                from repro.machine.power import average_power
+
+                def summarize(energy_joules):
+                    return average_power(duration_seconds=energy_joules)
+                """,
+            "repro/machine/power.py": """
+                def average_power(*, duration_seconds):
+                    return 1.0 / duration_seconds
+                """,
+        }
+        findings, _ = project(files, codes=["ARCH009"])
+        assert codes(findings) == ["ARCH009"]
+
+    def test_matching_units_are_clean(self, project):
+        files = {
+            "repro/report.py": """
+                from repro.machine.power import average_power
+
+                def summarize(elapsed_seconds):
+                    return average_power(elapsed_seconds)
+                """,
+            "repro/machine/power.py": """
+                def average_power(duration_seconds):
+                    return 1.0 / duration_seconds
+                """,
+        }
+        findings, _ = project(files, codes=["ARCH009"])
+        assert findings == []
+
+    def test_method_call_skips_self(self, project):
+        files = {
+            "repro/report.py": """
+                from repro.machine.power import Meter
+
+                def summarize(elapsed_seconds):
+                    meter = Meter()
+                    return meter.charge(elapsed_seconds)
+                """,
+            "repro/machine/power.py": """
+                class Meter:
+                    def charge(self, duration_seconds):
+                        return duration_seconds
+                """,
+        }
+        findings, _ = project(files, codes=["ARCH009"])
+        assert findings == []
+
+    def test_dataclass_constructor_fields(self, project):
+        files = {
+            "repro/report.py": """
+                from repro.machine.power import Sample
+
+                def build(energy_joules):
+                    return Sample(duration_seconds=energy_joules)
+                """,
+            "repro/machine/power.py": """
+                from dataclasses import dataclass
+
+                @dataclass(frozen=True)
+                class Sample:
+                    duration_seconds: float
+                """,
+        }
+        findings, _ = project(files, codes=["ARCH009"])
+        assert codes(findings) == ["ARCH009"]
+
+
+class TestReturnBoundary:
+    def test_assignment_target_disagrees_with_return_unit(self, project):
+        files = {
+            "repro/report.py": """
+                from repro.machine.clock import elapsed_seconds
+
+                def tally():
+                    total_joules = elapsed_seconds()
+                    return total_joules
+                """,
+            "repro/machine/clock.py": """
+                def elapsed_seconds():
+                    return 1.0
+                """,
+        }
+        findings, _ = project(files, codes=["ARCH009"])
+        assert codes(findings) == ["ARCH009"]
+        assert "joules" in findings[0].message
+        assert "seconds" in findings[0].message
+
+    def test_return_unit_chains_through_wrapper(self, project):
+        # g has no suffix of its own; its unit comes from f via the
+        # fixed point.
+        files = {
+            "repro/report.py": """
+                from repro.machine.clock import wrapped
+
+                def tally():
+                    total_joules = wrapped()
+                    return total_joules
+                """,
+            "repro/machine/clock.py": """
+                def elapsed_seconds():
+                    return 1.0
+
+                def wrapped():
+                    return elapsed_seconds()
+                """,
+        }
+        findings, _ = project(files, codes=["ARCH009"])
+        assert codes(findings) == ["ARCH009"]
+
+    def test_perf_counter_is_seconds(self, project):
+        files = {
+            "repro/report.py": """
+                import time
+
+                def tally():
+                    total_joules = time.perf_counter()
+                    return total_joules
+                """,
+        }
+        findings, _ = project(files, codes=["ARCH009"])
+        assert codes(findings) == ["ARCH009"]
+
+
+class TestDeclaredReturn:
+    def test_function_name_vs_returned_suffix(self, project):
+        files = {
+            "repro/report.py": """
+                def total_seconds(energy_joules):
+                    return energy_joules
+                """,
+        }
+        findings, _ = project(files, codes=["ARCH009"])
+        assert codes(findings) == ["ARCH009"]
+        assert "total_seconds" in findings[0].message
+
+    def test_conflicting_evidence_never_guesses(self, project):
+        # Two different return units -> unknown, so a caller
+        # assignment cannot be flagged.
+        files = {
+            "repro/report.py": """
+                from repro.machine.clock import mixed
+
+                def tally():
+                    total_joules = mixed()
+                    return total_joules
+                """,
+            "repro/machine/clock.py": """
+                def mixed(flag, a_seconds, b_joules):
+                    if flag:
+                        return a_seconds
+                    return b_joules
+                """,
+        }
+        findings, _ = project(files, codes=["ARCH009"])
+        assert findings == []
+
+    def test_suppression_on_call_line(self, project):
+        files = {
+            "repro/report.py": """
+                from repro.machine.power import average_power
+
+                def summarize(energy_joules):
+                    # archlint: disable=ARCH009
+                    return average_power(energy_joules)
+                """,
+            "repro/machine/power.py": """
+                def average_power(duration_seconds):
+                    return 1.0 / duration_seconds
+                """,
+        }
+        findings, _ = project(files, codes=["ARCH009"])
+        assert findings == []

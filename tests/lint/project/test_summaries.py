@@ -1,0 +1,158 @@
+"""Per-module summary extraction and its JSON round trip."""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.context import ModuleContext
+from repro.lint.project.summaries import (
+    ModuleSummary,
+    absolute_imports,
+    summarize_module,
+    unit_suffix,
+)
+
+
+def summarize(source: str, module: str, path: str = "mod.py"):
+    ctx = ModuleContext.from_source(source, path=path, module=module)
+    return summarize_module(ctx)
+
+
+class TestUnitSuffix:
+    def test_known_suffixes(self):
+        assert unit_suffix("elapsed_seconds") == "seconds"
+        assert unit_suffix("total_joules") == "joules"
+        assert unit_suffix("cap_watts") == "watts"
+
+    def test_no_suffix(self):
+        assert unit_suffix("elapsed") == ""
+        assert unit_suffix("joules_total") == ""  # suffix only, not infix.
+
+
+class TestAbsoluteImports:
+    def test_relative_import_resolves_against_package(self):
+        tree = ast.parse("from ..machine import engine\n")
+        table = absolute_imports(
+            tree, "repro.microbench.campaign", is_package=False
+        )
+        assert table["engine"] == "repro.machine.engine"
+
+    def test_from_dot_import(self):
+        tree = ast.parse("from . import runner\n")
+        table = absolute_imports(
+            tree, "repro.microbench.campaign", is_package=False
+        )
+        assert table["runner"] == "repro.microbench.runner"
+
+    def test_package_init_resolves_from_itself(self):
+        tree = ast.parse("from .campaign import ShardSpec\n")
+        table = absolute_imports(
+            tree, "repro.microbench", is_package=True
+        )
+        assert table["ShardSpec"] == "repro.microbench.campaign.ShardSpec"
+
+
+SOURCE = '''
+import time
+from repro.store.store import CampaignStore
+
+class RigFaultError(Exception):
+    pass
+
+def helper(budget_seconds):
+    store = CampaignStore("root")
+    try:
+        store.put("k", budget_seconds)
+    except ValueError:
+        raise
+    raise RigFaultError("boom")
+
+def stamp_seconds():
+    return time.time()
+'''
+
+
+class TestCollector:
+    def test_call_sites_and_guards(self):
+        summary = summarize(SOURCE, "repro.work")
+        helper = {f.qname: f for f in summary.functions}["repro.work.helper"]
+        put_calls = [
+            c for c in helper.calls
+            if "repro.store.store.CampaignStore.put" in c.callees
+        ]
+        assert len(put_calls) == 1
+        (level,) = put_calls[0].guards
+        assert level[0].caught == ("ValueError",)
+        assert level[0].reraises
+
+    def test_constructor_type_inference(self):
+        # ``store = CampaignStore(...)`` makes ``store.put`` resolvable.
+        summary = summarize(SOURCE, "repro.work")
+        helper = {f.qname: f for f in summary.functions}["repro.work.helper"]
+        callees = {ref for call in helper.calls for ref in call.callees}
+        assert "repro.store.store.CampaignStore.put" in callees
+
+    def test_sink_and_raise_sites(self):
+        summary = summarize(SOURCE, "repro.work")
+        by_name = {f.qname: f for f in summary.functions}
+        stamp = by_name["repro.work.stamp_seconds"]
+        assert [(s.kind, s.name) for s in stamp.sinks] == [
+            ("clock", "time.time")
+        ]
+        helper = by_name["repro.work.helper"]
+        assert [r.exc for r in helper.raises] == ["RigFaultError"]
+
+    def test_dotted_chain_records_one_sink(self):
+        # ``time.time()`` must not double-count via its Name root.
+        summary = summarize(SOURCE, "repro.work")
+        stamp = {f.qname: f for f in summary.functions}[
+            "repro.work.stamp_seconds"
+        ]
+        assert len(stamp.sinks) == 1
+
+    def test_unimported_name_is_not_a_sink(self):
+        summary = summarize(
+            "def f(time):\n    return time.time()\n", "repro.work"
+        )
+        (func,) = summary.functions
+        assert func.sinks == ()
+
+    def test_declared_return_unit_from_name(self):
+        summary = summarize(SOURCE, "repro.work")
+        stamp = {f.qname: f for f in summary.functions}[
+            "repro.work.stamp_seconds"
+        ]
+        assert stamp.return_unit_declared == "seconds"
+        assert stamp.return_refs == ("c:time.time",)
+
+    def test_arg_units_recorded(self):
+        source = (
+            "from repro.power import draw\n"
+            "def f(energy_joules):\n"
+            "    return draw(energy_joules, cap_watts=3.0)\n"
+        )
+        summary = summarize(source, "repro.work")
+        (func,) = summary.functions
+        (call,) = [
+            c for c in func.calls if "repro.power.draw" in c.callees
+        ]
+        assert call.arg_units == ("u:joules",)
+
+    def test_round_trip_is_lossless(self):
+        summary = summarize(SOURCE, "repro.work", path="repro/work.py")
+        assert ModuleSummary.from_dict(summary.to_dict()) == summary
+
+    def test_class_shape(self):
+        source = (
+            "from dataclasses import dataclass\n"
+            "from repro.core.fit import Fit\n"
+            "@dataclass(frozen=True)\n"
+            "class Report:\n"
+            "    fit: Fit\n"
+            "    n: int\n"
+        )
+        summary = summarize(source, "repro.microbench.campaign")
+        (cls,) = summary.classes
+        assert cls.is_dataclass and cls.frozen
+        fit_field = cls.fields[0]
+        assert "repro.core.fit.Fit" in fit_field.refs

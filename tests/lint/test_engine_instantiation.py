@@ -1,0 +1,48 @@
+"""Regression: the engine instantiates each rule exactly once per file.
+
+``lint_context`` previously built one instance to check ``applies()``
+and a second to walk with, so rules doing work in ``__init__`` paid it
+twice and any start-state captured by the first instance was thrown
+away.
+"""
+
+from __future__ import annotations
+
+from repro.lint.context import ModuleContext
+from repro.lint.engine import lint_context
+from repro.lint.rules.base import Rule
+
+
+class CountingRule(Rule):
+    code = "TST901"
+    name = "instantiation-counter"
+    description = "test-only"
+    instances = 0
+
+    def __init__(self) -> None:
+        type(self).instances += 1
+
+
+class ScopedOutRule(Rule):
+    code = "TST902"
+    name = "scoped-out-counter"
+    description = "test-only"
+    scope = ("some.other.package",)
+    instances = 0
+
+    def __init__(self) -> None:
+        type(self).instances += 1
+
+
+def test_applicable_rule_instantiated_once():
+    CountingRule.instances = 0
+    ctx = ModuleContext.from_source("x = 1\n", path="t.py")
+    lint_context(ctx, [CountingRule])
+    assert CountingRule.instances == 1
+
+
+def test_scoped_out_rule_instantiated_once():
+    ScopedOutRule.instances = 0
+    ctx = ModuleContext.from_source("x = 1\n", path="t.py", module="t")
+    lint_context(ctx, [ScopedOutRule])
+    assert ScopedOutRule.instances == 1
